@@ -1,0 +1,253 @@
+// Package asyncsgd is a reproduction of "The Convergence of Stochastic
+// Gradient Descent in Asynchronous Shared Memory" (Alistarh, De Sa,
+// Konstantinov; PODC 2018). It provides:
+//
+//   - a deterministic asynchronous shared-memory machine with adaptive
+//     adversarial scheduling (the paper's execution model),
+//   - the lock-free SGD algorithms of the paper (Algorithm 1 "EpochSGD"
+//     and Algorithm 2 "FullSGD") running on that machine,
+//   - a real-goroutine Hogwild runtime with CAS-emulated float fetch&add,
+//   - the martingale analysis toolkit (rate supermartingales, the failure
+//     probability bounds of Theorems 3.1/6.3/6.5 and Corollary 6.7, and
+//     the Section-5 lower-bound closed forms), and
+//   - the experiment drivers (E1–E10) that regenerate every quantitative
+//     claim in the paper.
+//
+// This package is a facade: it re-exports the stable API surface of the
+// internal packages so that applications depend on a single import.
+// See DESIGN.md for the architecture and EXPERIMENTS.md for the recorded
+// reproduction results.
+package asyncsgd
+
+import (
+	"io"
+
+	"asyncsgd/internal/baseline"
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/data"
+	"asyncsgd/internal/experiments"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/hogwild"
+	"asyncsgd/internal/martingale"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/shm"
+	"asyncsgd/internal/vec"
+)
+
+// --- vectors and randomness ---------------------------------------------
+
+type (
+	// Dense is a dense float64 vector.
+	Dense = vec.Dense
+	// Rand is the deterministic splittable PRNG used everywhere.
+	Rand = rng.Rand
+)
+
+// NewDense returns a zero vector of dimension d.
+func NewDense(d int) Dense { return vec.NewDense(d) }
+
+// NewRand returns a seeded deterministic generator.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// --- objectives ----------------------------------------------------------
+
+type (
+	// Oracle is a stochastic-gradient oracle (see internal/grad).
+	Oracle = grad.Oracle
+	// Constants are the analytic constants (c, L, M², R) of an objective.
+	Constants = grad.Constants
+	// Dataset is a synthetic supervised dataset.
+	Dataset = data.Dataset
+	// LinearConfig parameterizes synthetic linear-regression data.
+	LinearConfig = data.LinearConfig
+	// LogisticConfig parameterizes synthetic classification data.
+	LogisticConfig = data.LogisticConfig
+)
+
+// NewQuad1D returns the paper's Section-5 objective f(x)=½x² with noisy
+// gradients g̃(x) = x − ũ, ũ ~ N(0, σ²).
+func NewQuad1D(sigma, r0 float64) (Oracle, error) { return grad.NewQuad1D(sigma, r0) }
+
+// NewIsoQuadratic returns the isotropic quadratic f(x) = (c/2)‖x−x*‖²
+// with Gaussian gradient noise σ and M²-ball radius r0.
+func NewIsoQuadratic(d int, c, sigma, r0 float64, xstar Dense) (Oracle, error) {
+	return grad.NewIsoQuadratic(d, c, sigma, r0, xstar)
+}
+
+// NewQuadratic returns an anisotropic quadratic with spectrum lambda.
+func NewQuadratic(lambda, xstar Dense, sigma, r0 float64) (Oracle, error) {
+	return grad.NewQuadratic(lambda, xstar, sigma, r0)
+}
+
+// NewLeastSquares builds the least-squares oracle over a dataset.
+func NewLeastSquares(ds *Dataset, r0 float64) (Oracle, error) {
+	return grad.NewLeastSquares(ds, r0)
+}
+
+// NewLogistic builds the ℓ2-regularized logistic-regression oracle.
+func NewLogistic(ds *Dataset, lambda, r0 float64) (Oracle, error) {
+	return grad.NewLogistic(ds, lambda, r0)
+}
+
+// NewSingleCoordinate wraps an oracle so gradients have a single non-zero
+// entry (the sparsity regime of the prior De Sa et al. analysis).
+func NewSingleCoordinate(base Oracle) Oracle { return grad.NewSingleCoordinate(base) }
+
+// NewMiniBatch wraps an oracle so each gradient averages b base draws,
+// shrinking the noise part of M² by 1/b.
+func NewMiniBatch(base Oracle, b int) Oracle { return grad.NewMiniBatch(base, b) }
+
+// MFConfig parameterizes the matrix-factorization workload.
+type MFConfig = grad.MFConfig
+
+// NewMatrixFactorization builds the non-convex sparse-update matrix
+// completion workload (outside the convex theory; see internal/grad).
+func NewMatrixFactorization(cfg MFConfig, r *Rand) (*grad.MatrixFactorization, error) {
+	return grad.NewMatrixFactorization(cfg, r)
+}
+
+// GenLinear generates a synthetic linear-regression dataset.
+func GenLinear(cfg LinearConfig, r *Rand) (*Dataset, error) { return data.GenLinear(cfg, r) }
+
+// GenLogistic generates a synthetic classification dataset.
+func GenLogistic(cfg LogisticConfig, r *Rand) (*Dataset, error) { return data.GenLogistic(cfg, r) }
+
+// --- the shared-memory model and schedulers ------------------------------
+
+type (
+	// Policy schedules shared-memory steps (the adversary).
+	Policy = shm.Policy
+	// RoundRobin is the fair baseline scheduler.
+	RoundRobin = sched.RoundRobin
+	// Random schedules a uniformly random live thread each step.
+	Random = sched.Random
+	// GeometricPause injects stochastic geometric delays.
+	GeometricPause = sched.GeometricPause
+	// StaleGradient is the Section-5 lower-bound adversary.
+	StaleGradient = sched.StaleGradient
+	// MaxStale is the budgeted maximum-staleness adaptive adversary.
+	MaxStale = sched.MaxStale
+	// CrashAt crashes chosen threads at chosen times.
+	CrashAt = sched.CrashAt
+	// Quantum models OS-style preemptive quanta (bursty benign schedules).
+	Quantum = sched.Quantum
+)
+
+// --- the paper's algorithms ----------------------------------------------
+
+type (
+	// EpochConfig parameterizes Algorithm 1 on the simulated machine.
+	EpochConfig = core.EpochConfig
+	// EpochResult is the outcome of one EpochSGD run.
+	EpochResult = core.EpochResult
+	// FullConfig parameterizes Algorithm 2.
+	FullConfig = core.FullConfig
+	// FullResult is the outcome of Algorithm 2.
+	FullResult = core.FullResult
+	// IterRecord captures one completed SGD iteration.
+	IterRecord = core.IterRecord
+	// SeqConfig parameterizes the sequential baseline.
+	SeqConfig = baseline.SeqConfig
+	// SeqResult is the sequential baseline outcome.
+	SeqResult = baseline.SeqResult
+)
+
+// RunEpoch executes Algorithm 1 (lock-free SGD) on the simulated
+// asynchronous shared-memory machine.
+func RunEpoch(cfg EpochConfig) (*EpochResult, error) { return core.RunEpoch(cfg) }
+
+// RunFull executes Algorithm 2 (epoch halving with guaranteed
+// convergence, Corollary 7.1).
+func RunFull(cfg FullConfig) (*FullResult, error) { return core.RunFull(cfg) }
+
+// RunSequential executes the sequential SGD baseline.
+func RunSequential(cfg SeqConfig) (*SeqResult, error) { return baseline.RunSequential(cfg) }
+
+// AlphaSequential is the Theorem-3.1 step size α = cεϑ/M².
+func AlphaSequential(cst Constants, eps, vartheta float64) float64 {
+	return core.AlphaSequential(cst, eps, vartheta)
+}
+
+// AlphaAsync is the Corollary-6.7 step size for lock-free SGD under an
+// adaptive adversary with maximum interval contention tauMax.
+func AlphaAsync(cst Constants, eps, vartheta float64, tauMax, n, d int) float64 {
+	return core.AlphaAsync(cst, eps, vartheta, tauMax, n, d)
+}
+
+// --- real-thread runtime --------------------------------------------------
+
+type (
+	// ParallelConfig parameterizes the real-goroutine runtime.
+	ParallelConfig = hogwild.Config
+	// ParallelResult is its outcome.
+	ParallelResult = hogwild.Result
+	// Mode selects the synchronization discipline.
+	Mode = hogwild.Mode
+)
+
+// Real-thread synchronization modes.
+const (
+	LockFree    = hogwild.LockFree
+	CoarseLock  = hogwild.CoarseLock
+	ShardedLock = hogwild.ShardedLock
+)
+
+// RunParallel executes lock-free (or lock-based) SGD on real goroutines.
+func RunParallel(cfg ParallelConfig) (*ParallelResult, error) { return hogwild.Run(cfg) }
+
+// ParallelFullConfig parameterizes Algorithm 2 on real goroutines.
+type ParallelFullConfig = hogwild.FullConfig
+
+// ParallelFullResult is its outcome.
+type ParallelFullResult = hogwild.FullResult
+
+// RunParallelFull executes Algorithm 2 (halving-α epochs) on real
+// goroutines with epoch fencing by construction.
+func RunParallelFull(cfg ParallelFullConfig) (*ParallelFullResult, error) {
+	return hogwild.RunFull(cfg)
+}
+
+// --- analysis --------------------------------------------------------------
+
+// BoundSequential is the Theorem-3.1 failure-probability bound.
+func BoundSequential(cst Constants, eps, vartheta float64, T int, x0DistSq float64) float64 {
+	return martingale.BoundSequential(cst, eps, vartheta, T, x0DistSq)
+}
+
+// BoundAsync is the Corollary-6.7 failure-probability bound.
+func BoundAsync(cst Constants, eps, vartheta float64, tauMax, n, d, T int, x0DistSq float64) float64 {
+	return martingale.BoundAsync(cst, eps, vartheta, tauMax, n, d, T, x0DistSq)
+}
+
+// CriticalDelay is the Theorem-5.1 delay threshold for a fixed step size.
+func CriticalDelay(alpha float64) int { return martingale.CriticalDelay(alpha) }
+
+// SlowdownFactor is the Theorem-5.1 Ω(τ) slowdown factor.
+func SlowdownFactor(alpha float64, tau int) float64 {
+	return martingale.SlowdownFactor(alpha, tau)
+}
+
+// --- experiments ------------------------------------------------------------
+
+// ExperimentScale selects Quick (tests) or Full (reproduction runs).
+type ExperimentScale = experiments.Scale
+
+// Experiment scales.
+const (
+	Quick     = experiments.Quick
+	FullScale = experiments.Full
+)
+
+// ExperimentIDs lists the available experiments (e1..e10).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// RunExperiment executes one experiment and writes its tables to w.
+func RunExperiment(id string, scale ExperimentScale, w io.Writer) error {
+	return experiments.Run(id, scale, w)
+}
+
+// RunAllExperiments executes every experiment in order.
+func RunAllExperiments(scale ExperimentScale, w io.Writer) error {
+	return experiments.RunAll(scale, w)
+}

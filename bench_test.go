@@ -1,0 +1,263 @@
+package asyncsgd
+
+// Benchmark harness: one testing.B benchmark per reproduced experiment
+// (see DESIGN.md §3 for the experiment↔result index) plus microbenchmarks
+// for the substrates. Run:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benchmarks execute the Quick-scale drivers — the same
+// code that regenerates the paper's tables — so their wall time is the
+// cost of reproducing each result. cmd/asgdbench runs the Full scale.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"asyncsgd/internal/atomicfloat"
+	"asyncsgd/internal/baseline"
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/experiments"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/hogwild"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/vec"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Run(id, experiments.Quick, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE1SequentialBound regenerates Theorem 3.1 (sequential failure
+// probability vs bound).
+func BenchmarkE1SequentialBound(b *testing.B) { benchExperiment(b, "e1") }
+
+// BenchmarkE2LowerBound regenerates Section 5 / Theorem 5.1 (adversarial
+// delay lower bound and merged-noise variance).
+func BenchmarkE2LowerBound(b *testing.B) { benchExperiment(b, "e2") }
+
+// BenchmarkE3BadIterations regenerates Lemma 6.2.
+func BenchmarkE3BadIterations(b *testing.B) { benchExperiment(b, "e3") }
+
+// BenchmarkE4DelaySum regenerates Lemma 6.4.
+func BenchmarkE4DelaySum(b *testing.B) { benchExperiment(b, "e4") }
+
+// BenchmarkE5UpperBound regenerates Theorem 6.5 / Corollary 6.7 (the
+// paper's main upper bound and the √(τmax·n) scaling).
+func BenchmarkE5UpperBound(b *testing.B) { benchExperiment(b, "e5") }
+
+// BenchmarkE6FullSGD regenerates Corollary 7.1 (Algorithm 2).
+func BenchmarkE6FullSGD(b *testing.B) { benchExperiment(b, "e6") }
+
+// BenchmarkE7AvgContention regenerates the τavg ≤ 2n claim.
+func BenchmarkE7AvgContention(b *testing.B) { benchExperiment(b, "e7") }
+
+// BenchmarkE8Tradeoff regenerates the Section-8 step-size/delay trade-off.
+func BenchmarkE8Tradeoff(b *testing.B) { benchExperiment(b, "e8") }
+
+// BenchmarkE9ViewConsistency regenerates Figure 1 and the Lemma 6.1
+// invariants.
+func BenchmarkE9ViewConsistency(b *testing.B) { benchExperiment(b, "e9") }
+
+// BenchmarkE10Throughput regenerates the real-thread throughput table.
+func BenchmarkE10Throughput(b *testing.B) { benchExperiment(b, "e10") }
+
+// BenchmarkE11SparsityAblation regenerates the dense vs single-non-zero
+// gradient ablation (the assumption the paper removes).
+func BenchmarkE11SparsityAblation(b *testing.B) { benchExperiment(b, "e11") }
+
+// BenchmarkE12Momentum regenerates the §8 momentum-under-delay extension.
+func BenchmarkE12Momentum(b *testing.B) { benchExperiment(b, "e12") }
+
+// BenchmarkE13StalenessAware regenerates the staleness-aware mitigation
+// vs adaptive adversary extension.
+func BenchmarkE13StalenessAware(b *testing.B) { benchExperiment(b, "e13") }
+
+// --- substrate microbenchmarks -------------------------------------------
+
+// BenchmarkMachineStep measures the simulated shared-memory machine's cost
+// per scheduled step (state-machine workers, round-robin policy).
+func BenchmarkMachineStep(b *testing.B) {
+	q, err := grad.NewIsoQuadratic(8, 1, 0.3, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const iters = 2000
+	stepsPerRun := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.RunEpoch(core.EpochConfig{
+			Threads: 4, TotalIters: iters, Alpha: 0.05, Oracle: q,
+			Policy: &sched.RoundRobin{}, Seed: uint64(i),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stepsPerRun = res.Stats.Steps
+	}
+	b.ReportMetric(float64(stepsPerRun)*float64(b.N)/b.Elapsed().Seconds(), "steps/sec")
+}
+
+// BenchmarkMachineStepAdversarial is BenchmarkMachineStep under the
+// max-staleness adversary (the policy does tag inspection per step).
+func BenchmarkMachineStepAdversarial(b *testing.B) {
+	q, err := grad.NewIsoQuadratic(8, 1, 0.3, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.RunEpoch(core.EpochConfig{
+			Threads: 4, TotalIters: 2000, Alpha: 0.05, Oracle: q,
+			Policy: &sched.MaxStale{Budget: 8}, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSequentialSGD is the pure-Go baseline iteration cost, the
+// denominator of the simulator's modelling overhead.
+func BenchmarkSequentialSGD(b *testing.B) {
+	q, err := grad.NewIsoQuadratic(8, 1, 0.3, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := baseline.RunSequential(baseline.SeqConfig{
+			Oracle: q, Alpha: 0.05, Iters: 2000, Seed: uint64(i),
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAtomicFloatFetchAdd measures the CAS-loop float fetch&add,
+// packed vs cache-line-padded layout, uncontended and contended — the
+// ablation for the paper's fetch&add primitive on real hardware.
+func BenchmarkAtomicFloatFetchAdd(b *testing.B) {
+	layouts := map[string]func(int) *atomicfloat.Vector{
+		"packed": atomicfloat.NewVector,
+		"padded": atomicfloat.NewPaddedVector,
+	}
+	for name, mk := range layouts {
+		b.Run(name+"/uncontended", func(b *testing.B) {
+			v := mk(16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v.FetchAdd(i&15, 1)
+			}
+		})
+		b.Run(name+"/contended", func(b *testing.B) {
+			v := mk(16)
+			var wg sync.WaitGroup
+			const workers = 4
+			b.ResetTimer()
+			per := b.N / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < per; i++ {
+						v.FetchAdd((i+w)&15, 1)
+					}
+				}(w)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// BenchmarkHogwildModes measures end-to-end updates/sec of the real-thread
+// runtime per synchronization mode.
+func BenchmarkHogwildModes(b *testing.B) {
+	q, err := grad.NewIsoQuadratic(16, 1, 0.3, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []hogwild.Mode{hogwild.LockFree, hogwild.CoarseLock, hogwild.ShardedLock} {
+		b.Run(mode.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := hogwild.Run(hogwild.Config{
+					Workers: 4, TotalIters: 20000, Alpha: 0.02,
+					Oracle: q, Seed: uint64(i), Mode: mode,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRNG measures the PRNG primitives used on every SGD iteration.
+func BenchmarkRNG(b *testing.B) {
+	r := rng.New(1)
+	b.Run("uint64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = r.Uint64()
+		}
+	})
+	b.Run("normal", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = r.Normal()
+		}
+	})
+	b.Run("intn", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = r.Intn(1000)
+		}
+	})
+}
+
+// BenchmarkVecOps measures the vector kernels on the SGD hot path.
+func BenchmarkVecOps(b *testing.B) {
+	x := vec.Constant(64, 1.5)
+	y := vec.Constant(64, -0.5)
+	b.Run("axpy64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.AddScaled(1e-9, y)
+		}
+	})
+	b.Run("norm2sq64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = x.Norm2Sq()
+		}
+	})
+	b.Run("dot64", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = vec.MustDot(x, y)
+		}
+	})
+}
+
+// BenchmarkOracleGrad measures stochastic-gradient sampling cost per
+// oracle family.
+func BenchmarkOracleGrad(b *testing.B) {
+	r := rng.New(5)
+	quad, err := grad.NewIsoQuadratic(16, 1, 0.3, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracles := map[string]grad.Oracle{
+		"quadratic16": quad,
+		"single16":    grad.NewSingleCoordinate(quad),
+	}
+	for name, o := range oracles {
+		b.Run(name, func(b *testing.B) {
+			x := vec.Constant(o.Dim(), 0.5)
+			g := vec.NewDense(o.Dim())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				o.Grad(g, x, r)
+			}
+		})
+	}
+}

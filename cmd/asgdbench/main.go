@@ -1,0 +1,63 @@
+// Command asgdbench regenerates the paper's quantitative results. Each
+// experiment id (e1..e14) maps to one theorem, lemma, figure or discussion
+// point of the paper; see DESIGN.md §3 for the index.
+//
+// Usage:
+//
+//	asgdbench -exp all -scale quick
+//	asgdbench -exp e5 -scale full
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"asyncsgd/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asgdbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("asgdbench", flag.ContinueOnError)
+	exp := fs.String("exp", "all", "experiment id (e1..e14), comma list, or 'all'")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
+	list := fs.Bool("list", false, "list experiments and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, id := range experiments.IDs() {
+			title, err := experiments.TitleOf(id)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-4s %s\n", id, title)
+		}
+		return nil
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick
+	case "full":
+		scale = experiments.Full
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+	if *exp == "all" {
+		return experiments.RunAll(scale, out)
+	}
+	for _, id := range strings.Split(*exp, ",") {
+		if err := experiments.Run(strings.TrimSpace(id), scale, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

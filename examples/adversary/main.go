@@ -1,0 +1,58 @@
+// Adversary: a hands-on demonstration of the paper's Section-5 lower
+// bound (Theorem 5.1). Two threads minimize f(x) = ½x². The adversarial
+// scheduler lets one thread compute a gradient at x₀, freezes it while
+// the other thread performs τ iterations of real progress, then merges
+// the stale gradient — wiping most of the progress out. With a fixed
+// learning rate the induced slowdown is Ω(τ).
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"asyncsgd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "adversary:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const alpha = 0.1
+	crit := asyncsgd.CriticalDelay(alpha)
+	fmt.Printf("fixed learning rate α = %v → critical delay τ* = %d "+
+		"(smallest τ with 2(1−α)^τ ≤ α)\n\n", alpha, crit)
+	fmt.Printf("%6s  %14s  %14s  %12s\n",
+		"τ", "|x| adversary", "|x| sequential", "slowdown Ω(τ)")
+
+	for _, tau := range []int{crit / 2, crit, 2 * crit, 4 * crit} {
+		oracle, err := asyncsgd.NewQuad1D(0, 2) // noiseless: exact algebra
+		if err != nil {
+			return err
+		}
+		res, err := asyncsgd.RunEpoch(asyncsgd.EpochConfig{
+			Threads:    2,
+			TotalIters: tau + 1,
+			Alpha:      alpha,
+			Oracle:     oracle,
+			Policy:     &asyncsgd.StaleGradient{Victim: 1, DelayIters: tau},
+			Seed:       1,
+			X0:         asyncsgd.Dense{1},
+		})
+		if err != nil {
+			return err
+		}
+		seq := math.Pow(1-alpha, float64(tau+1)) // no-adversary trajectory
+		fmt.Printf("%6d  %14.6f  %14.6f  %12.2f\n",
+			tau, math.Abs(res.FinalX[0]), seq,
+			asyncsgd.SlowdownFactor(alpha, tau))
+	}
+	fmt.Println("\nPast the critical delay the adversarial |x| stops shrinking with τ")
+	fmt.Println("(it is pinned near α/2 = 0.05) while the sequential run keeps")
+	fmt.Println("contracting — the Ω(τ) convergence gap of Theorem 5.1.")
+	return nil
+}

@@ -1,0 +1,52 @@
+// Epochs: run Algorithm 2 (FullSGD) — a sequence of lock-free epochs with
+// halving learning rates and a locally-accumulated final epoch — against
+// an adaptive adversary, and watch the guaranteed convergence of
+// Corollary 7.1: E‖r − x*‖ ≤ √ε regardless of the scheduler.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"asyncsgd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "epochs:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	oracle, err := asyncsgd.NewIsoQuadratic(4, 1, 0.4, 3, nil)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%10s  %8s  %12s  %10s\n", "ε target", "epochs", "‖r − x*‖", "√ε")
+	for _, eps := range []float64{0.4, 0.1, 0.025} {
+		res, err := asyncsgd.RunFull(asyncsgd.FullConfig{
+			Threads:       3,
+			Epsilon:       eps,
+			Alpha0:        0.5,
+			ItersPerEpoch: 1200,
+			Oracle:        oracle,
+			Seed:          11,
+			PolicyFactory: func(epoch int) asyncsgd.Policy {
+				// A fresh adversary every epoch (policies are stateful).
+				return &asyncsgd.MaxStale{Budget: 6}
+			},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%10.3f  %8d  %12.5f  %10.4f\n",
+			eps, res.Epochs, res.FinalDist, math.Sqrt(eps))
+	}
+	fmt.Println("\nEach row halves α for the computed number of epochs; the final")
+	fmt.Println("epoch aggregates per-thread local gradient sums so the returned")
+	fmt.Println("model contains every generated update (Algorithm 2, lines 8–9).")
+	return nil
+}

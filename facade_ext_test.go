@@ -1,0 +1,68 @@
+package asyncsgd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPublicAPIExtensions(t *testing.T) {
+	oracle, err := NewIsoQuadratic(2, 1, 0.4, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mini-batch shrinks the analytic second moment.
+	mb := NewMiniBatch(oracle, 8)
+	if mb.Constants().M2 >= oracle.Constants().M2 {
+		t.Error("mini-batch did not reduce M²")
+	}
+	// Momentum + staleness-aware + quantum scheduling all compose.
+	res, err := RunEpoch(EpochConfig{
+		Threads: 2, TotalIters: 800, Alpha: 0.05, Oracle: mb,
+		Policy: &Quantum{Q: 25, R: NewRand(3)},
+		Seed:   4, Momentum: 0.3, StalenessEta: 0.5, Record: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ht := res.HitTime(oracle.Optimum(), 0.1); ht < 0 {
+		t.Error("extended configuration never converged")
+	}
+}
+
+func TestPublicAPIParallelFull(t *testing.T) {
+	oracle, err := NewIsoQuadratic(2, 1, 0.3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunParallelFull(ParallelFullConfig{
+		Workers: 2, Epsilon: 0.1, Alpha0: 0.4, ItersPerEpoch: 1500,
+		Oracle: oracle, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalDist > 3*math.Sqrt(0.1) {
+		t.Errorf("real-thread FullSGD distance %v", res.FinalDist)
+	}
+}
+
+func TestPublicAPIMatrixFactorization(t *testing.T) {
+	mf, err := NewMatrixFactorization(MFConfig{
+		M: 15, N: 12, Rank: 2, ObserveProb: 0.5,
+	}, NewRand(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x0 := mf.InitNear(0.3, NewRand(7))
+	before := mf.RMSE(x0)
+	res, err := RunParallel(ParallelConfig{
+		Workers: 2, TotalIters: 30000, Alpha: 0.05, Oracle: mf,
+		Seed: 8, X0: x0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := mf.RMSE(res.Final); after > before/3 {
+		t.Errorf("MF RMSE %v -> %v; insufficient progress", before, after)
+	}
+}

@@ -1,0 +1,138 @@
+// Package atomicfloat provides lock-free atomic float64 cells and vectors.
+//
+// The paper's Algorithm 1 applies gradient updates with an atomic
+// fetch&add on each model coordinate. Go (and most ISAs) have no hardware
+// float fetch&add, so Add is implemented as the standard CAS retry loop on
+// the IEEE-754 bit pattern, which is linearizable read-modify-write with
+// the same semantics the paper assumes. This package backs the real-thread
+// Hogwild runtime (internal/hogwild); the discrete-step simulator
+// (internal/shm) models fetch&add directly.
+package atomicfloat
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Float64 is an atomic float64 cell. The zero value holds 0.
+type Float64 struct {
+	bits atomic.Uint64
+}
+
+// Load returns the current value.
+func (f *Float64) Load() float64 {
+	return math.Float64frombits(f.bits.Load())
+}
+
+// Store sets the value.
+func (f *Float64) Store(v float64) {
+	f.bits.Store(math.Float64bits(v))
+}
+
+// Add atomically adds delta and returns the value BEFORE the addition
+// (fetch&add semantics, matching the paper's primitive).
+func (f *Float64) Add(delta float64) float64 {
+	for {
+		oldBits := f.bits.Load()
+		old := math.Float64frombits(oldBits)
+		newBits := math.Float64bits(old + delta)
+		if f.bits.CompareAndSwap(oldBits, newBits) {
+			return old
+		}
+	}
+}
+
+// CompareAndSwap performs a CAS on the float value. Note: the comparison is
+// on bit patterns, so -0 and +0 are distinct and NaNs compare by payload.
+func (f *Float64) CompareAndSwap(old, new float64) bool {
+	return f.bits.CompareAndSwap(math.Float64bits(old), math.Float64bits(new))
+}
+
+// cacheLineBytes is the assumed cache line size for padding.
+const cacheLineBytes = 64
+
+// paddedFloat is a Float64 padded to a full cache line so adjacent vector
+// coordinates do not false-share under concurrent fetch&add.
+type paddedFloat struct {
+	f Float64
+	_ [cacheLineBytes - 8]byte
+}
+
+// Vector is a fixed-dimension vector of atomic float64 coordinates.
+//
+// Two layouts are supported: packed (compact; coordinates may false-share)
+// and padded (one cache line per coordinate; ~8x memory). Padding matters
+// only for real-thread throughput benchmarks; correctness is identical.
+type Vector struct {
+	packed []Float64
+	padded []paddedFloat
+}
+
+// NewVector returns a packed atomic vector of dimension d, all zeros.
+func NewVector(d int) *Vector {
+	return &Vector{packed: make([]Float64, d)}
+}
+
+// NewPaddedVector returns a cache-line-padded atomic vector of dimension d.
+func NewPaddedVector(d int) *Vector {
+	return &Vector{padded: make([]paddedFloat, d)}
+}
+
+// Dim returns the dimension.
+func (v *Vector) Dim() int {
+	if v.padded != nil {
+		return len(v.padded)
+	}
+	return len(v.packed)
+}
+
+func (v *Vector) cell(i int) *Float64 {
+	if v.padded != nil {
+		return &v.padded[i].f
+	}
+	return &v.packed[i]
+}
+
+// Load returns coordinate i.
+func (v *Vector) Load(i int) float64 { return v.cell(i).Load() }
+
+// Store sets coordinate i.
+func (v *Vector) Store(i int, x float64) { v.cell(i).Store(x) }
+
+// FetchAdd atomically adds delta to coordinate i, returning the prior value.
+func (v *Vector) FetchAdd(i int, delta float64) float64 {
+	return v.cell(i).Add(delta)
+}
+
+// Snapshot copies the current coordinates into dst (dst must have length
+// Dim). The copy is NOT an atomic snapshot of the whole vector — it is the
+// per-coordinate "inconsistent view" v_t of the paper's Section 6, which is
+// exactly what a lock-free reader observes.
+func (v *Vector) Snapshot(dst []float64) {
+	d := v.Dim()
+	if len(dst) != d {
+		panic("atomicfloat: Snapshot dst dimension mismatch")
+	}
+	for i := 0; i < d; i++ {
+		dst[i] = v.Load(i)
+	}
+}
+
+// StoreAll sets every coordinate from src (length must equal Dim).
+func (v *Vector) StoreAll(src []float64) {
+	d := v.Dim()
+	if len(src) != d {
+		panic("atomicfloat: StoreAll src dimension mismatch")
+	}
+	for i := 0; i < d; i++ {
+		v.Store(i, src[i])
+	}
+}
+
+// Zero resets every coordinate to 0.
+func (v *Vector) Zero() {
+	d := v.Dim()
+	for i := 0; i < d; i++ {
+		v.Store(i, 0)
+	}
+}

@@ -1,0 +1,150 @@
+package atomicfloat
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestFloat64LoadStore(t *testing.T) {
+	var f Float64
+	if f.Load() != 0 {
+		t.Errorf("zero value = %v", f.Load())
+	}
+	f.Store(3.25)
+	if f.Load() != 3.25 {
+		t.Errorf("Load = %v", f.Load())
+	}
+}
+
+func TestFloat64AddReturnsPrior(t *testing.T) {
+	var f Float64
+	f.Store(1.5)
+	if old := f.Add(2); old != 1.5 {
+		t.Errorf("Add returned %v, want prior 1.5", old)
+	}
+	if f.Load() != 3.5 {
+		t.Errorf("after Add = %v", f.Load())
+	}
+}
+
+func TestFloat64CAS(t *testing.T) {
+	var f Float64
+	f.Store(1)
+	if !f.CompareAndSwap(1, 2) {
+		t.Error("CAS(1,2) failed")
+	}
+	if f.CompareAndSwap(1, 3) {
+		t.Error("stale CAS succeeded")
+	}
+	if f.Load() != 2 {
+		t.Errorf("value = %v", f.Load())
+	}
+}
+
+// The key linearizability property: concurrent fetch&adds never lose
+// updates (unlike plain read-modify-write on a shared float).
+func TestConcurrentAddNoLostUpdates(t *testing.T) {
+	var f Float64
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				f.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := f.Load(); got != workers*perWorker {
+		t.Errorf("total = %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestVectorBasics(t *testing.T) {
+	for _, mk := range []func(int) *Vector{NewVector, NewPaddedVector} {
+		v := mk(4)
+		if v.Dim() != 4 {
+			t.Fatalf("Dim = %d", v.Dim())
+		}
+		v.Store(2, 7)
+		if v.Load(2) != 7 {
+			t.Errorf("Load(2) = %v", v.Load(2))
+		}
+		if old := v.FetchAdd(2, -3); old != 7 {
+			t.Errorf("FetchAdd prior = %v", old)
+		}
+		if v.Load(2) != 4 {
+			t.Errorf("after FetchAdd = %v", v.Load(2))
+		}
+		dst := make([]float64, 4)
+		v.Snapshot(dst)
+		if dst[2] != 4 || dst[0] != 0 {
+			t.Errorf("Snapshot = %v", dst)
+		}
+		v.StoreAll([]float64{1, 2, 3, 4})
+		if v.Load(0) != 1 || v.Load(3) != 4 {
+			t.Errorf("StoreAll wrong")
+		}
+		v.Zero()
+		for i := 0; i < 4; i++ {
+			if v.Load(i) != 0 {
+				t.Errorf("Zero left v[%d]=%v", i, v.Load(i))
+			}
+		}
+	}
+}
+
+func TestVectorPanics(t *testing.T) {
+	v := NewVector(2)
+	for name, fn := range map[string]func(){
+		"snapshot": func() { v.Snapshot(make([]float64, 3)) },
+		"storeall": func() { v.StoreAll(make([]float64, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s with wrong dim did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestConcurrentVectorFetchAdd(t *testing.T) {
+	v := NewPaddedVector(8)
+	const workers, perWorker = 4, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				v.FetchAdd(i%8, 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	var total float64
+	for i := 0; i < 8; i++ {
+		total += v.Load(i)
+	}
+	want := float64(workers*perWorker) * 0.5
+	if math.Abs(total-want) > 1e-9 {
+		t.Errorf("total = %v, want %v", total, want)
+	}
+}
+
+func TestNegativeZeroCASBitExact(t *testing.T) {
+	var f Float64
+	f.Store(math.Copysign(0, -1))
+	if f.CompareAndSwap(0, 1) {
+		t.Error("CAS(+0,...) matched -0; comparison should be bit-exact")
+	}
+	if !f.CompareAndSwap(math.Copysign(0, -1), 1) {
+		t.Error("CAS(-0,...) should match -0")
+	}
+}

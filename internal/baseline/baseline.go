@@ -1,0 +1,130 @@
+// Package baseline provides the non-concurrent comparison algorithms: the
+// sequential SGD iteration the paper's bounds are measured against
+// (Theorem 3.1 / the "no adversary" side of Section 5), and a mini-batch
+// variant used in ablations.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// ErrBadConfig reports invalid baseline parameters.
+var ErrBadConfig = errors.New("baseline: invalid configuration")
+
+// SeqConfig parameterizes a sequential SGD run.
+type SeqConfig struct {
+	Oracle    grad.Oracle
+	X0        vec.Dense // nil ⇒ zero vector
+	Alpha     float64
+	Iters     int
+	Seed      uint64
+	Batch     int  // mini-batch size; 0 or 1 ⇒ plain SGD
+	TrackDist bool // record ‖x_t − x*‖² for every t
+}
+
+// SeqResult is the outcome of a sequential run.
+type SeqResult struct {
+	Final  vec.Dense
+	DistSq []float64 // per-iteration squared distance (TrackDist)
+}
+
+// RunSequential executes x_{t+1} = x_t − α·g̃(x_t) for Iters steps.
+func RunSequential(cfg SeqConfig) (*SeqResult, error) {
+	if cfg.Oracle == nil || cfg.Alpha <= 0 || cfg.Iters <= 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	d := cfg.Oracle.Dim()
+	x := cfg.X0
+	if x == nil {
+		x = vec.NewDense(d)
+	} else {
+		x = x.Clone()
+	}
+	if x.Dim() != d {
+		return nil, fmt.Errorf("%w: X0 dim %d vs oracle %d", ErrBadConfig, x.Dim(), d)
+	}
+	batch := cfg.Batch
+	if batch <= 0 {
+		batch = 1
+	}
+	r := rng.New(cfg.Seed)
+	xstar := cfg.Oracle.Optimum()
+	g := vec.NewDense(d)
+	sum := vec.NewDense(d)
+	res := &SeqResult{}
+	if cfg.TrackDist {
+		res.DistSq = make([]float64, 0, cfg.Iters+1)
+		d2, err := vec.Dist2Sq(x, xstar)
+		if err != nil {
+			return nil, err
+		}
+		res.DistSq = append(res.DistSq, d2)
+	}
+	for t := 0; t < cfg.Iters; t++ {
+		if batch == 1 {
+			cfg.Oracle.Grad(g, x, r)
+			if err := x.AddScaled(-cfg.Alpha, g); err != nil {
+				return nil, err
+			}
+		} else {
+			sum.Zero()
+			for b := 0; b < batch; b++ {
+				cfg.Oracle.Grad(g, x, r)
+				if err := sum.Add(g); err != nil {
+					return nil, err
+				}
+			}
+			if err := x.AddScaled(-cfg.Alpha/float64(batch), sum); err != nil {
+				return nil, err
+			}
+		}
+		if cfg.TrackDist {
+			d2, err := vec.Dist2Sq(x, xstar)
+			if err != nil {
+				return nil, err
+			}
+			res.DistSq = append(res.DistSq, d2)
+		}
+	}
+	res.Final = x
+	return res, nil
+}
+
+// HitTime returns the first index t with DistSq[t] ≤ eps, or −1. Requires
+// TrackDist.
+func (r *SeqResult) HitTime(eps float64) int {
+	for t, d2 := range r.DistSq {
+		if d2 <= eps {
+			return t
+		}
+	}
+	return -1
+}
+
+// FailureProbability estimates P(F_T) — the probability that sequential
+// SGD has not entered the success region by iteration T — over trials
+// Monte-Carlo runs with independent seeds derived from seed.
+func FailureProbability(cfg SeqConfig, eps float64, trials int, seed uint64) (float64, error) {
+	if trials <= 0 {
+		return 0, fmt.Errorf("%w: trials=%d", ErrBadConfig, trials)
+	}
+	fails := 0
+	for k := 0; k < trials; k++ {
+		c := cfg
+		c.Seed = seed + uint64(k)*0x9E3779B97F4A7C15
+		c.TrackDist = true
+		res, err := RunSequential(c)
+		if err != nil {
+			return 0, err
+		}
+		if res.HitTime(eps) < 0 {
+			fails++
+		}
+	}
+	return float64(fails) / float64(trials), nil
+}

@@ -1,0 +1,495 @@
+// Package contention implements the iteration-level bookkeeping of the
+// paper's Sections 2 and 6: interval contention ρ(θ), its maximum τmax and
+// average τavg, per-iteration view staleness τ_t under the total order "t
+// is the t-th iteration to perform its first model fetch&add" (Lemma 6.1),
+// the bad/good iteration counting of Lemma 6.2, and the delay-indicator
+// sums of Lemma 6.4.
+//
+// It also defines Tag, the annotation attached by SGD thread programs to
+// their shared-memory operations. Tags are visible to scheduling policies
+// (the strong adversary knows the role of every pending operation) and are
+// interpreted by Tracker.Observe to reconstruct iteration timelines.
+package contention
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Role classifies an SGD thread's shared-memory operation within one
+// iteration of Algorithm 1.
+type Role uint8
+
+// Operation roles. RoleCounter is the iteration-claiming fetch&add on the
+// shared counter C; RoleRead is a read of one model coordinate while
+// assembling the view v_t; RoleUpdate is the fetch&add applying one
+// gradient coordinate.
+const (
+	RoleCounter Role = iota + 1
+	RoleRead
+	RoleUpdate
+	// RoleProbe marks an auxiliary read of the iteration counter used by
+	// staleness-aware workers to estimate their own delay; it is not part
+	// of the Algorithm-1 iteration structure and is ignored by the
+	// tracker.
+	RoleProbe
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleCounter:
+		return "counter"
+	case RoleRead:
+		return "read"
+	case RoleUpdate:
+		return "update"
+	case RoleProbe:
+		return "probe"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Tag annotates one shared-memory operation with its place in the SGD
+// execution. Thread is the issuing thread; Iter is the thread-local
+// iteration number (0-based); Coord is the model coordinate for reads and
+// updates; First/Last mark the first and last model update of the
+// iteration (First defines the paper's total order on iterations).
+type Tag struct {
+	Thread int
+	Iter   int
+	Role   Role
+	Coord  int
+	First  bool
+	Last   bool
+}
+
+// iter is the record of one SGD iteration's timeline.
+type iter struct {
+	thread      int
+	localIter   int
+	startTime   int   // counter fetch&add time (iteration start)
+	firstUpTime int   // first model update time (0 if none yet)
+	endTime     int   // last model update time (0 if incomplete)
+	readTimes   []int // per-coordinate read times (0 if not read)
+	updateTimes []int // per-coordinate update times (0 if not updated)
+	orderIdx    int   // 1-based paper order; 0 until assigned in Finalize
+}
+
+// Tracker accumulates iteration timelines during a run and computes the
+// paper's contention statistics afterwards. Create with NewTracker, feed
+// with Begin/Read/Update/End (or Observe), then call Finalize once.
+// Tracker is not safe for concurrent use; the shm machine is sequential.
+type Tracker struct {
+	d      int
+	iters  []*iter
+	byKey  map[[2]int]int // (thread, localIter) -> index into iters
+	final  bool
+	clockS int // latest observed time, for incomplete iterations
+
+	// Populated by Finalize:
+	ordered []*iter // complete iterations in paper order
+	taus    []int   // taus[t-1] = τ_t for ordered iteration t (1-based)
+}
+
+// NewTracker returns a tracker for a model of dimension d.
+func NewTracker(d int) *Tracker {
+	return &Tracker{d: d, byKey: make(map[[2]int]int)}
+}
+
+// Begin records the start (counter fetch&add) of iteration localIter of
+// thread at the given machine time.
+func (tr *Tracker) Begin(thread, localIter, time int) {
+	it := &iter{
+		thread:      thread,
+		localIter:   localIter,
+		startTime:   time,
+		readTimes:   make([]int, tr.d),
+		updateTimes: make([]int, tr.d),
+	}
+	tr.byKey[[2]int{thread, localIter}] = len(tr.iters)
+	tr.iters = append(tr.iters, it)
+	tr.touch(time)
+}
+
+// Read records that the iteration read model coordinate coord at time.
+func (tr *Tracker) Read(thread, localIter, coord, time int) {
+	if it := tr.get(thread, localIter); it != nil {
+		it.readTimes[coord] = time
+		tr.touch(time)
+	}
+}
+
+// Update records a model fetch&add on coord at time. first marks the
+// iteration's first model update (the ordering marker).
+func (tr *Tracker) Update(thread, localIter, coord, time int, first bool) {
+	if it := tr.get(thread, localIter); it != nil {
+		it.updateTimes[coord] = time
+		if first || it.firstUpTime == 0 {
+			it.firstUpTime = time
+		}
+		tr.touch(time)
+	}
+}
+
+// End records the completion (last model update) of the iteration at time.
+func (tr *Tracker) End(thread, localIter, time int) {
+	if it := tr.get(thread, localIter); it != nil {
+		it.endTime = time
+		tr.touch(time)
+	}
+}
+
+func (tr *Tracker) get(thread, localIter int) *iter {
+	idx, ok := tr.byKey[[2]int{thread, localIter}]
+	if !ok {
+		return nil
+	}
+	return tr.iters[idx]
+}
+
+func (tr *Tracker) touch(time int) {
+	if time > tr.clockS {
+		tr.clockS = time
+	}
+}
+
+// Iterations returns the number of iterations that started.
+func (tr *Tracker) Iterations() int { return len(tr.iters) }
+
+// Completed returns the number of iterations that finished their last
+// model update.
+func (tr *Tracker) Completed() int {
+	c := 0
+	for _, it := range tr.iters {
+		if it.endTime > 0 {
+			c++
+		}
+	}
+	return c
+}
+
+// Finalize orders completed iterations by first model update (the paper's
+// total order) and computes staleness values. It must be called once,
+// after the run.
+func (tr *Tracker) Finalize() {
+	if tr.final {
+		return
+	}
+	tr.final = true
+	for _, it := range tr.iters {
+		if it.firstUpTime > 0 && it.endTime > 0 {
+			tr.ordered = append(tr.ordered, it)
+		}
+	}
+	sort.Slice(tr.ordered, func(a, b int) bool {
+		return tr.ordered[a].firstUpTime < tr.ordered[b].firstUpTime
+	})
+	for i, it := range tr.ordered {
+		it.orderIdx = i + 1
+	}
+	tr.computeTaus()
+}
+
+// computeTaus evaluates τ_t for every ordered iteration t: the number of
+// most-recent predecessors spanning back to the oldest predecessor whose
+// update is missing from t's view, i.e. τ_t = t − m_t where m_t is the
+// smallest order index whose update some read of t missed (0 if none).
+//
+// An update of iteration t' on coordinate j is missed by t when t' updated
+// j after t read j. A prefix-max over completion times prunes the scan:
+// iterations that completed before t's earliest read are fully visible.
+func (tr *Tracker) computeTaus() {
+	n := len(tr.ordered)
+	tr.taus = make([]int, n)
+	if n == 0 {
+		return
+	}
+	prefMaxEnd := make([]int, n+1) // prefMaxEnd[k] = max endTime of ordered[0..k-1]
+	for i, it := range tr.ordered {
+		prefMaxEnd[i+1] = max(prefMaxEnd[i], it.endTime)
+	}
+	for t := 1; t <= n; t++ {
+		it := tr.ordered[t-1]
+		minRead := 0
+		for _, r := range it.readTimes {
+			if r > 0 && (minRead == 0 || r < minRead) {
+				minRead = r
+			}
+		}
+		if minRead == 0 {
+			continue // no reads recorded; treat as fully fresh
+		}
+		// Smallest k (1-based) with prefMaxEnd[k] >= minRead: candidates
+		// for missed updates start at k; everything before is visible.
+		k := sort.Search(t-1, func(i int) bool {
+			return prefMaxEnd[i+1] >= minRead
+		}) + 1
+		mt := 0
+		for cand := k; cand <= t-1; cand++ {
+			pred := tr.ordered[cand-1]
+			if pred.endTime < minRead {
+				continue
+			}
+			if tr.missed(it, pred) {
+				mt = cand
+				break
+			}
+		}
+		if mt > 0 {
+			tr.taus[t-1] = t - mt
+		}
+	}
+}
+
+// missed reports whether iteration cur's view is missing any update of
+// predecessor pred.
+func (tr *Tracker) missed(cur, pred *iter) bool {
+	for j := 0; j < tr.d; j++ {
+		u := pred.updateTimes[j]
+		if u == 0 {
+			continue
+		}
+		r := cur.readTimes[j]
+		if r > 0 && u > r {
+			return true
+		}
+	}
+	return false
+}
+
+// Taus returns the staleness sequence τ_1..τ_T over ordered iterations.
+// Finalize must have been called.
+func (tr *Tracker) Taus() []int { return tr.taus }
+
+// TauMaxView returns max_t τ_t, the maximum view staleness.
+func (tr *Tracker) TauMaxView() int {
+	m := 0
+	for _, v := range tr.taus {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// IntervalContentions returns ρ(θ) for every started iteration θ: the
+// number of other iterations whose [start, end] interval overlaps θ's.
+// Incomplete iterations are treated as ending at the last observed time.
+func (tr *Tracker) IntervalContentions() []int {
+	n := len(tr.iters)
+	starts := make([]int, n)
+	ends := make([]int, n)
+	for i, it := range tr.iters {
+		starts[i] = it.startTime
+		e := it.endTime
+		if e == 0 {
+			e = tr.clockS
+		}
+		ends[i] = e
+	}
+	sortedStarts := append([]int(nil), starts...)
+	sortedEnds := append([]int(nil), ends...)
+	sort.Ints(sortedStarts)
+	sort.Ints(sortedEnds)
+	rho := make([]int, n)
+	for i := range tr.iters {
+		// overlap count = #(start <= end_i) - #(end < start_i) - 1 (self)
+		a := sort.SearchInts(sortedStarts, ends[i]+1)
+		b := sort.SearchInts(sortedEnds, starts[i])
+		rho[i] = a - b - 1
+	}
+	return rho
+}
+
+// TauMax returns the maximum interval contention over all iterations (the
+// paper's τmax). Zero if no iterations ran.
+func (tr *Tracker) TauMax() int {
+	m := 0
+	for _, r := range tr.IntervalContentions() {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// TauAvg returns the average interval contention (the paper's τavg).
+func (tr *Tracker) TauAvg() float64 {
+	rho := tr.IntervalContentions()
+	if len(rho) == 0 {
+		return 0
+	}
+	s := 0
+	for _, r := range rho {
+		s += r
+	}
+	return float64(s) / float64(len(rho))
+}
+
+// MaxIncomplete returns the maximum, over time, of the number of
+// simultaneously incomplete iterations — iterations that performed their
+// first model update but not their last. Lemma 6.1 asserts this never
+// exceeds the number of threads n.
+func (tr *Tracker) MaxIncomplete() int {
+	type ev struct{ t, delta int }
+	var evs []ev
+	for _, it := range tr.iters {
+		if it.firstUpTime == 0 {
+			continue
+		}
+		evs = append(evs, ev{it.firstUpTime, +1})
+		if it.endTime > 0 {
+			// An iteration with a single update is momentarily incomplete
+			// only at its own step; end strictly after first.
+			evs = append(evs, ev{it.endTime + 1, -1})
+		}
+	}
+	sort.Slice(evs, func(a, b int) bool {
+		if evs[a].t != evs[b].t {
+			return evs[a].t < evs[b].t
+		}
+		return evs[a].delta < evs[b].delta // apply -1 before +1 at ties
+	})
+	cur, maxC := 0, 0
+	for _, e := range evs {
+		cur += e.delta
+		if cur > maxC {
+			maxC = cur
+		}
+	}
+	return maxC
+}
+
+// MaxBadCompletions evaluates the quantity bounded by Lemma 6.2: for every
+// interval I during which exactly K·n consecutive iterations start, count
+// the "bad" iterations (more than K·n iterations start between their start
+// and end) that complete during I, and return the maximum over all windows.
+// The lemma asserts the result is < n.
+func (tr *Tracker) MaxBadCompletions(k, n int) int {
+	win := k * n
+	if win <= 0 || len(tr.iters) == 0 {
+		return 0
+	}
+	// Sorted start times define the windows; for each iteration, its
+	// badness is #starts strictly inside (start, end).
+	starts := make([]int, len(tr.iters))
+	for i, it := range tr.iters {
+		starts[i] = it.startTime
+	}
+	sort.Ints(starts)
+	type comp struct{ end int }
+	var bad []comp
+	for _, it := range tr.iters {
+		if it.endTime == 0 {
+			continue
+		}
+		inside := sort.SearchInts(starts, it.endTime) -
+			sort.SearchInts(starts, it.startTime+1)
+		if inside > win {
+			bad = append(bad, comp{it.endTime})
+		}
+	}
+	sort.Slice(bad, func(a, b int) bool { return bad[a].end < bad[b].end })
+	badEnds := make([]int, len(bad))
+	for i, b := range bad {
+		badEnds[i] = b.end
+	}
+	maxBad := 0
+	for i := 0; i+win <= len(starts); i++ {
+		// The interval may extend until just before the (i+win)-th next
+		// start — it still contains exactly K·n starts.
+		lo := starts[i]
+		hi := tr.clockS
+		if i+win < len(starts) {
+			hi = starts[i+win] - 1
+		}
+		c := sort.SearchInts(badEnds, hi+1) - sort.SearchInts(badEnds, lo)
+		if c > maxBad {
+			maxBad = c
+		}
+	}
+	return maxBad
+}
+
+// DelayIndicatorMax evaluates the left side of Lemma 6.4:
+// max_t Σ_{m≥1} 1{τ_{t+m} ≥ m}, computed over the measured staleness
+// sequence. The lemma bounds it by 2·sqrt(τmax·n).
+func (tr *Tracker) DelayIndicatorMax() int {
+	n := len(tr.taus)
+	best := 0
+	for t := 0; t < n; t++ {
+		s := 0
+		for m := 1; t+m < n; m++ {
+			if tr.taus[t+m] >= m {
+				s++
+			}
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// Observe interprets a tagged shm step and routes it to the appropriate
+// tracker method. Steps without a Tag of type Tag are ignored. This lets a
+// tracker be attached to any machine via Config.OnStep.
+func (tr *Tracker) Observe(thread int, tag any, time int) {
+	tg, ok := tag.(Tag)
+	if !ok {
+		return
+	}
+	switch tg.Role {
+	case RoleCounter:
+		tr.Begin(tg.Thread, tg.Iter, time)
+	case RoleRead:
+		tr.Read(tg.Thread, tg.Iter, tg.Coord, time)
+	case RoleUpdate:
+		tr.Update(tg.Thread, tg.Iter, tg.Coord, time, tg.First)
+		if tg.Last {
+			tr.End(tg.Thread, tg.Iter, time)
+		}
+	}
+}
+
+// IterTimeline is an exported snapshot of one iteration's event times,
+// used by the Figure-1 renderer and consistency checks.
+type IterTimeline struct {
+	Thread      int
+	LocalIter   int
+	OrderIdx    int // 1-based paper order; 0 if not ordered (incomplete)
+	Start       int
+	FirstUp     int
+	End         int
+	ReadTimes   []int
+	UpdateTimes []int
+}
+
+// Timelines returns the recorded iteration timelines in start order.
+// Slices are copies; mutating them does not affect the tracker.
+func (tr *Tracker) Timelines() []IterTimeline {
+	out := make([]IterTimeline, 0, len(tr.iters))
+	for _, it := range tr.iters {
+		out = append(out, IterTimeline{
+			Thread:      it.thread,
+			LocalIter:   it.localIter,
+			OrderIdx:    it.orderIdx,
+			Start:       it.startTime,
+			FirstUp:     it.firstUpTime,
+			End:         it.endTime,
+			ReadTimes:   append([]int(nil), it.readTimes...),
+			UpdateTimes: append([]int(nil), it.updateTimes...),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
+	return out
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,228 @@
+package contention
+
+import (
+	"testing"
+)
+
+// buildSequential records k iterations of a single thread, each with
+// pattern: begin, read all coords, update all coords. Fully sequential, so
+// all staleness and contention metrics must be zero.
+func buildSequential(t *testing.T, d, k int) *Tracker {
+	t.Helper()
+	tr := NewTracker(d)
+	clock := 0
+	for i := 0; i < k; i++ {
+		clock++
+		tr.Begin(0, i, clock)
+		for j := 0; j < d; j++ {
+			clock++
+			tr.Read(0, i, j, clock)
+		}
+		for j := 0; j < d; j++ {
+			clock++
+			tr.Update(0, i, j, clock, j == 0)
+		}
+		tr.End(0, i, clock)
+	}
+	tr.Finalize()
+	return tr
+}
+
+func TestSequentialHasNoStalenessOrContention(t *testing.T) {
+	tr := buildSequential(t, 3, 10)
+	if tr.Iterations() != 10 || tr.Completed() != 10 {
+		t.Fatalf("iters=%d completed=%d", tr.Iterations(), tr.Completed())
+	}
+	if got := tr.TauMaxView(); got != 0 {
+		t.Errorf("TauMaxView = %d, want 0", got)
+	}
+	if got := tr.TauMax(); got != 0 {
+		t.Errorf("TauMax = %d, want 0", got)
+	}
+	if got := tr.TauAvg(); got != 0 {
+		t.Errorf("TauAvg = %v, want 0", got)
+	}
+	if got := tr.MaxIncomplete(); got != 1 {
+		t.Errorf("MaxIncomplete = %d, want 1", got)
+	}
+	if got := tr.DelayIndicatorMax(); got != 0 {
+		t.Errorf("DelayIndicatorMax = %d, want 0", got)
+	}
+	if got := tr.MaxBadCompletions(2, 1); got != 0 {
+		t.Errorf("MaxBadCompletions = %d, want 0", got)
+	}
+}
+
+// Two interleaved iterations: thread 1 reads before thread 0 updates, so
+// thread 1's view misses thread 0's update when ordered after it.
+func TestStaleViewDetected(t *testing.T) {
+	tr := NewTracker(2)
+	// Thread 0 iteration 0: begin@1, read@2,3, update@6(first),7(last).
+	tr.Begin(0, 0, 1)
+	tr.Read(0, 0, 0, 2)
+	tr.Read(0, 0, 1, 3)
+	// Thread 1 iteration 0: begin@4, reads@4,5 (misses t0's updates),
+	// updates @8(first),9(last) — ordered second.
+	tr.Begin(1, 0, 4)
+	tr.Read(1, 0, 0, 4)
+	tr.Read(1, 0, 1, 5)
+	tr.Update(0, 0, 0, 6, true)
+	tr.Update(0, 0, 1, 7, false)
+	tr.End(0, 0, 7)
+	tr.Update(1, 0, 0, 8, true)
+	tr.Update(1, 0, 1, 9, false)
+	tr.End(1, 0, 9)
+	tr.Finalize()
+
+	taus := tr.Taus()
+	if len(taus) != 2 {
+		t.Fatalf("taus = %v", taus)
+	}
+	if taus[0] != 0 {
+		t.Errorf("τ_1 = %d, want 0 (first iteration misses nothing)", taus[0])
+	}
+	if taus[1] != 1 {
+		t.Errorf("τ_2 = %d, want 1 (missed iteration 1's updates)", taus[1])
+	}
+	if got := tr.TauMax(); got != 1 {
+		t.Errorf("TauMax (interval contention) = %d, want 1", got)
+	}
+	if got := tr.TauAvg(); got != 1 {
+		t.Errorf("TauAvg = %v, want 1 (both overlap)", got)
+	}
+	// Update phases [6,7] and [8,9] do not overlap: at most one iteration
+	// is ever between its first and last update here.
+	if got := tr.MaxIncomplete(); got != 1 {
+		t.Errorf("MaxIncomplete = %d, want 1", got)
+	}
+}
+
+// A view that reads AFTER the predecessor's updates misses nothing even
+// though the iterations' intervals overlap.
+func TestFreshViewDespiteOverlap(t *testing.T) {
+	tr := NewTracker(1)
+	tr.Begin(0, 0, 1)
+	tr.Read(0, 0, 0, 2)
+	tr.Begin(1, 0, 3) // overlaps iteration (0,0)
+	tr.Update(0, 0, 0, 4, true)
+	tr.End(0, 0, 4)
+	tr.Read(1, 0, 0, 5) // reads after t0's update: fresh
+	tr.Update(1, 0, 0, 6, true)
+	tr.End(1, 0, 6)
+	tr.Finalize()
+	taus := tr.Taus()
+	if taus[1] != 0 {
+		t.Errorf("τ_2 = %d, want 0 (view fresh)", taus[1])
+	}
+	if tr.TauMax() != 1 {
+		t.Errorf("interval contention = %d, want 1", tr.TauMax())
+	}
+}
+
+func TestIncompleteIterationExcludedFromOrder(t *testing.T) {
+	tr := NewTracker(1)
+	tr.Begin(0, 0, 1)
+	tr.Read(0, 0, 0, 2)
+	tr.Update(0, 0, 0, 3, true)
+	tr.End(0, 0, 3)
+	tr.Begin(1, 0, 2) // started, never updated (crashed mid-iteration)
+	tr.Read(1, 0, 0, 4)
+	tr.Finalize()
+	if got := len(tr.Taus()); got != 1 {
+		t.Errorf("ordered iterations = %d, want 1", got)
+	}
+	if tr.Completed() != 1 || tr.Iterations() != 2 {
+		t.Errorf("completed=%d iterations=%d", tr.Completed(), tr.Iterations())
+	}
+}
+
+func TestDelayIndicatorMaxKnownSequence(t *testing.T) {
+	tr := &Tracker{taus: []int{0, 3, 3, 3, 0, 0}}
+	// t=0: m=1: τ1=3>=1 ✓; m=2: τ2=3>=2 ✓; m=3: τ3=3>=3 ✓; m=4: τ4=0>=4 ✗;
+	// m=5: τ5=0 ✗ → 3.
+	if got := tr.DelayIndicatorMax(); got != 3 {
+		t.Errorf("DelayIndicatorMax = %d, want 3", got)
+	}
+}
+
+func TestMaxBadCompletionsDetectsDelayedIteration(t *testing.T) {
+	// n=2 threads, K=1 → window Kn=2. One iteration spans many starts.
+	tr := NewTracker(1)
+	tr.Begin(0, 0, 1) // victim: start early...
+	tr.Read(0, 0, 0, 2)
+	clock := 3
+	for i := 0; i < 6; i++ { // 6 quick iterations of thread 1
+		tr.Begin(1, i, clock)
+		tr.Read(1, i, 0, clock+1)
+		tr.Update(1, i, 0, clock+2, true)
+		tr.End(1, i, clock+2)
+		clock += 3
+	}
+	tr.Update(0, 0, 0, clock, true) // ...finish late: 6 starts in between
+	tr.End(0, 0, clock)
+	tr.Finalize()
+	if got := tr.MaxBadCompletions(1, 2); got != 1 {
+		t.Errorf("MaxBadCompletions = %d, want 1 (the delayed victim)", got)
+	}
+	// Lemma 6.2: must be < n.
+	if got := tr.MaxBadCompletions(1, 2); got >= 2 {
+		t.Errorf("Lemma 6.2 violated: %d bad completions >= n=2", got)
+	}
+}
+
+func TestObserveRoutesTags(t *testing.T) {
+	tr := NewTracker(2)
+	seq := []struct {
+		tag  Tag
+		time int
+	}{
+		{Tag{Thread: 0, Iter: 0, Role: RoleCounter}, 1},
+		{Tag{Thread: 0, Iter: 0, Role: RoleRead, Coord: 0}, 2},
+		{Tag{Thread: 0, Iter: 0, Role: RoleRead, Coord: 1}, 3},
+		{Tag{Thread: 0, Iter: 0, Role: RoleUpdate, Coord: 0, First: true}, 4},
+		{Tag{Thread: 0, Iter: 0, Role: RoleUpdate, Coord: 1, Last: true}, 5},
+	}
+	for _, s := range seq {
+		tr.Observe(s.tag.Thread, s.tag, s.time)
+	}
+	tr.Observe(0, "not a tag", 6) // ignored
+	tr.Finalize()
+	if tr.Iterations() != 1 || tr.Completed() != 1 {
+		t.Errorf("iterations=%d completed=%d", tr.Iterations(), tr.Completed())
+	}
+	if len(tr.Taus()) != 1 || tr.Taus()[0] != 0 {
+		t.Errorf("taus = %v", tr.Taus())
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	for r, want := range map[Role]string{
+		RoleCounter: "counter", RoleRead: "read", RoleUpdate: "update",
+		Role(9): "Role(9)",
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("Role.String(%d) = %q, want %q", r, got, want)
+		}
+	}
+}
+
+func TestFinalizeIdempotent(t *testing.T) {
+	tr := buildSequential(t, 1, 3)
+	before := len(tr.Taus())
+	tr.Finalize()
+	if len(tr.Taus()) != before {
+		t.Error("second Finalize changed state")
+	}
+}
+
+func TestUnknownIterationIgnored(t *testing.T) {
+	tr := NewTracker(1)
+	// Events for an iteration that never Began must not panic.
+	tr.Read(3, 9, 0, 1)
+	tr.Update(3, 9, 0, 2, true)
+	tr.End(3, 9, 2)
+	tr.Finalize()
+	if tr.Iterations() != 0 {
+		t.Errorf("phantom iterations recorded: %d", tr.Iterations())
+	}
+}

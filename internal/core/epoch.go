@@ -1,0 +1,255 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"asyncsgd/internal/contention"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/shm"
+	"asyncsgd/internal/vec"
+)
+
+// EpochConfig parameterizes one EpochSGD run (Algorithm 1 executed by
+// Threads workers against a shared iteration budget).
+type EpochConfig struct {
+	Threads    int
+	TotalIters int     // T: shared iteration budget (counter bound)
+	Alpha      float64 // learning rate
+	Oracle     grad.Oracle
+	Policy     shm.Policy
+	Seed       uint64
+	X0         vec.Dense // initial model; nil ⇒ zero vector
+	MaxSteps   int       // safety cap; 0 ⇒ derived from T, d, Threads
+	Record     bool      // collect per-iteration views/gradients
+	Track      bool      // attach a contention tracker
+	Accumulate bool      // workers also accumulate gradients locally (Alg. 2 last epoch)
+
+	// Momentum enables the §8 alternative mitigation: each worker keeps a
+	// local heavy-ball velocity v ← β·v + g̃ and applies −α·v.
+	Momentum float64
+	// StalenessEta enables staleness-aware step scaling (Zhang et al.
+	// style): before updating, the worker re-reads the counter (one extra
+	// shared-memory step) and uses α/(1+η·staleness).
+	StalenessEta float64
+}
+
+// EpochResult is the outcome of one EpochSGD run.
+type EpochResult struct {
+	Alpha   float64
+	X0      vec.Dense
+	FinalX  vec.Dense // model registers at the end of the run
+	Stats   shm.RunStats
+	Tracker *contention.Tracker // nil unless Track
+	// Records holds completed iterations sorted by first model update —
+	// the paper's total order. Empty unless Record.
+	Records []IterRecord
+	// LocalSum is Σ over workers of their local accumulated updates
+	// (−α·g̃ summed over every generated gradient), the r of Algorithm 2's
+	// last epoch. Nil unless Accumulate.
+	LocalSum vec.Dense
+}
+
+// Validation errors.
+var (
+	ErrBadConfig = errors.New("core: invalid configuration")
+)
+
+// RunEpoch executes Algorithm 1: Threads lock-free SGD workers sharing a
+// model and an iteration counter, scheduled by cfg.Policy.
+func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
+	if cfg.Threads <= 0 || cfg.TotalIters <= 0 || cfg.Alpha <= 0 ||
+		cfg.Oracle == nil || cfg.Policy == nil {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	d := cfg.Oracle.Dim()
+	x0 := cfg.X0
+	if x0 == nil {
+		x0 = vec.NewDense(d)
+	}
+	if x0.Dim() != d {
+		return nil, fmt.Errorf("%w: X0 dim %d vs oracle dim %d",
+			ErrBadConfig, x0.Dim(), d)
+	}
+
+	var rec *recorder
+	if cfg.Record {
+		rec = &recorder{records: make([]IterRecord, 0, cfg.TotalIters)}
+	}
+	progs := make([]shm.Program, cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		progs[i] = newWorker(
+			i, cfg.Alpha, cfg.TotalIters,
+			cfg.Oracle.CloneFor(i),
+			rng.NewStream(cfg.Seed, uint64(i)+1),
+			rec, cfg.Accumulate,
+			workerOpts{momentum: cfg.Momentum, stalenessEta: cfg.StalenessEta},
+		)
+	}
+
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		// Each iteration costs ≤ 1 + 2d steps (+1 probe); claiming threads
+		// beyond the budget cost one counter step each. Generous 2x slack.
+		maxSteps = 2 * (cfg.TotalIters + cfg.Threads + 1) * (3 + 2*d)
+	}
+
+	initMem := make([]float64, 1+d)
+	copy(initMem[ModelBase:], x0)
+
+	var tracker *contention.Tracker
+	var onStep func(shm.Step)
+	if cfg.Track {
+		tracker = contention.NewTracker(d)
+		budget := float64(cfg.TotalIters)
+		onStep = func(s shm.Step) {
+			// A counter claim that lands beyond the budget terminates the
+			// thread (line 3 of Algorithm 1); it is not an SGD iteration
+			// and must not register as a phantom start.
+			if tg, ok := s.Req.Tag.(contention.Tag); ok &&
+				tg.Role == contention.RoleCounter && s.Res.Val >= budget {
+				return
+			}
+			tracker.Observe(s.Thread, s.Req.Tag, s.Time)
+		}
+	}
+
+	m, err := shm.New(shm.Config{
+		MemSize:  1 + d,
+		MaxSteps: maxSteps,
+		InitMem:  initMem,
+		OnStep:   onStep,
+	}, cfg.Policy, progs...)
+	if err != nil {
+		return nil, fmt.Errorf("build machine: %w", err)
+	}
+	stats, err := m.Run()
+	if err != nil {
+		return nil, fmt.Errorf("run machine: %w", err)
+	}
+	if tracker != nil {
+		tracker.Finalize()
+	}
+
+	res := &EpochResult{
+		Alpha:   cfg.Alpha,
+		X0:      x0.Clone(),
+		FinalX:  vec.FromSlice(m.Mem()[ModelBase : ModelBase+d]),
+		Stats:   stats,
+		Tracker: tracker,
+	}
+	if rec != nil {
+		res.Records = rec.records
+		sort.SliceStable(res.Records, func(a, b int) bool {
+			return res.Records[a].FirstUp < res.Records[b].FirstUp
+		})
+		// Drop iterations that generated a gradient but never completed
+		// their updates (stalled at MaxSteps): they are not ordered.
+		k := 0
+		for _, r := range res.Records {
+			if r.FirstUp > 0 && r.LastUp > 0 {
+				res.Records[k] = r
+				k++
+			}
+		}
+		res.Records = res.Records[:k]
+	}
+	if cfg.Accumulate {
+		sum := x0.Clone()
+		for _, p := range progs {
+			w, ok := p.(*worker)
+			if !ok {
+				continue
+			}
+			if err := sum.Add(w.acc); err != nil {
+				return nil, err
+			}
+		}
+		res.LocalSum = sum
+	}
+	return res, nil
+}
+
+// Accumulators reconstructs the paper's auxiliary sequence x_0, x_1, …:
+// x_t = x_{t−1} − α_t·u_t over iterations in the total order (α_t is the
+// iteration's effective step and u_t its applied direction; both equal the
+// plain α·g̃ unless the §8 extensions are enabled). This is the sequence
+// whose entry into the success region the failure probability bounds
+// (Theorems 3.1/6.3/6.5) are about.
+func (r *EpochResult) Accumulators() []vec.Dense {
+	out := make([]vec.Dense, 0, len(r.Records)+1)
+	cur := r.X0.Clone()
+	out = append(out, cur.Clone())
+	for _, rec := range r.Records {
+		_ = cur.AddScaled(-rec.AlphaEff, rec.Grad)
+		out = append(out, cur.Clone())
+	}
+	return out
+}
+
+// HitTime returns the first index t (0-based over x_0..x_T) at which
+// ‖x_t − xstar‖² ≤ eps, or −1 if the run never enters the success region.
+// Requires Record.
+func (r *EpochResult) HitTime(xstar vec.Dense, eps float64) int {
+	cur := r.X0.Clone()
+	d2, err := vec.Dist2Sq(cur, xstar)
+	if err != nil {
+		return -1
+	}
+	if d2 <= eps {
+		return 0
+	}
+	for t, rec := range r.Records {
+		_ = cur.AddScaled(-rec.AlphaEff, rec.Grad)
+		d2, err = vec.Dist2Sq(cur, xstar)
+		if err != nil {
+			return -1
+		}
+		if d2 <= eps {
+			return t + 1
+		}
+	}
+	return -1
+}
+
+// DistSqSeries returns ‖x_t − xstar‖² for t = 0..T over the total order.
+func (r *EpochResult) DistSqSeries(xstar vec.Dense) []float64 {
+	out := make([]float64, 0, len(r.Records)+1)
+	cur := r.X0.Clone()
+	d2, _ := vec.Dist2Sq(cur, xstar)
+	out = append(out, d2)
+	for _, rec := range r.Records {
+		_ = cur.AddScaled(-rec.AlphaEff, rec.Grad)
+		d2, _ = vec.Dist2Sq(cur, xstar)
+		out = append(out, d2)
+	}
+	return out
+}
+
+// Staleness returns a per-ordered-iteration lower bound on view staleness
+// computed from the records alone: every worker reads all d coordinates
+// before GenTime, so any predecessor whose last update lands after
+// iteration t's GenTime is certainly missing from t's view. (The exact
+// per-coordinate staleness lives in the contention tracker; this
+// record-based series is a cheap cross-check that never overestimates.)
+func (r *EpochResult) Staleness() []int {
+	n := len(r.Records)
+	taus := make([]int, n)
+	for t := 1; t <= n; t++ {
+		cur := &r.Records[t-1]
+		mt := 0
+		for cand := 1; cand <= t-1; cand++ {
+			pred := &r.Records[cand-1]
+			if pred.LastUp > cur.GenTime {
+				mt = cand
+				break
+			}
+		}
+		if mt > 0 {
+			taus[t-1] = t - mt
+		}
+	}
+	return taus
+}

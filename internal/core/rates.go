@@ -1,0 +1,45 @@
+package core
+
+import (
+	"math"
+
+	"asyncsgd/internal/grad"
+)
+
+// Learning-rate schedules from the paper. The arXiv rendering of the paper
+// drops the ε glyphs; the formulas below restore them, consistently with
+// the source result they extend (De Sa et al., "Taming the Wild", NIPS'15)
+// and with the supermartingale algebra of Lemma 6.6 (see
+// internal/martingale, which verifies the reconstruction empirically).
+
+// AlphaSequential is the Theorem-3.1 step size for sequential SGD:
+//
+//	α = c·ε·ϑ / M²,  ϑ ∈ (0, 1].
+func AlphaSequential(cst grad.Constants, eps, vartheta float64) float64 {
+	return cst.C * eps * vartheta / cst.M2
+}
+
+// AlphaHogwild is the Theorem-6.3 step size of the prior analysis (De Sa
+// et al.) parameterized by the worst-case expected delay τ:
+//
+//	α = c·ε·ϑ / (M² + 2·L·M·τ·√ε).
+func AlphaHogwild(cst grad.Constants, eps, vartheta float64, tau float64) float64 {
+	m := math.Sqrt(cst.M2)
+	return cst.C * eps * vartheta / (cst.M2 + 2*cst.L*m*tau*math.Sqrt(eps))
+}
+
+// CBound is the paper's C = 2·√(τmax·n) from Lemma 6.4.
+func CBound(tauMax, n int) float64 {
+	return 2 * math.Sqrt(float64(tauMax)*float64(n))
+}
+
+// AlphaAsync is the Corollary-6.7 step size for lock-free SGD against the
+// adaptive adversary:
+//
+//	α = c·ε·ϑ / (M² + 2·√ε·L·M·C·√d),  C = 2√(τmax·n)
+//	  = c·ε·ϑ / (M² + 4·√ε·L·M·√(τmax·n)·√d).
+func AlphaAsync(cst grad.Constants, eps, vartheta float64, tauMax, n, d int) float64 {
+	m := math.Sqrt(cst.M2)
+	denom := cst.M2 + 2*math.Sqrt(eps)*cst.L*m*CBound(tauMax, n)*math.Sqrt(float64(d))
+	return cst.C * eps * vartheta / denom
+}

@@ -1,0 +1,277 @@
+// Package core implements the paper's contribution: lock-free concurrent
+// SGD in the asynchronous shared-memory model (Algorithm 1, "EpochSGD")
+// and the epoch-doubling wrapper with guaranteed convergence (Algorithm 2,
+// "FullSGD"), together with the learning-rate schedules of Theorem 3.1,
+// Theorem 6.3 and Corollary 6.7.
+//
+// Memory layout inside the shm machine: register 0 is the shared iteration
+// counter C; registers 1..d hold the model X. Each worker repeatedly
+// claims an iteration with fetch&add on C, reads the d model coordinates
+// into its (possibly inconsistent) view v, computes a stochastic gradient
+// g̃(v), and applies −α·g̃[j] to each non-zero coordinate with fetch&add —
+// exactly Algorithm 1.
+package core
+
+import (
+	"asyncsgd/internal/contention"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/shm"
+	"asyncsgd/internal/vec"
+)
+
+// Memory layout constants.
+const (
+	// CounterAddr is the register holding the shared iteration counter C.
+	CounterAddr = 0
+	// ModelBase is the register index of model coordinate 0.
+	ModelBase = 1
+)
+
+// IterRecord captures one completed SGD iteration for post-hoc analysis:
+// the inconsistent view v the gradient was computed at, the applied update
+// direction (the stochastic gradient g̃(v) for plain SGD; the local
+// velocity under momentum), the effective step size (equal to α unless
+// staleness-aware scaling is enabled), and the machine times tying it into
+// the paper's total order (FirstUp orders iterations; Lemma 6.1).
+type IterRecord struct {
+	Thread    int
+	LocalIter int
+	View      vec.Dense
+	Grad      vec.Dense // applied direction; model delta is −AlphaEff·Grad
+	AlphaEff  float64
+	GenTime   int // time of the last view read (gradient generation)
+	FirstUp   int // time of the first model fetch&add
+	LastUp    int // time of the last model fetch&add
+}
+
+// recorder collects iteration records from all workers of one machine.
+// The shm machine is sequential, so no locking is needed.
+type recorder struct {
+	records []IterRecord
+}
+
+// worker phases: which operation the worker issued last.
+type workerPhase uint8
+
+const (
+	phaseInit workerPhase = iota
+	phaseCounter
+	phaseRead
+	phaseProbe // staleness probe: re-read the counter before updating
+	phaseUpdate
+)
+
+// workerOpts carries the optional algorithm extensions discussed in the
+// paper's Section 8: a local momentum term (the alternative mitigation the
+// paper mentions via Mitliagkas et al.) and staleness-aware step scaling
+// (Zhang et al. / Zheng et al., whose applicability the paper discusses).
+type workerOpts struct {
+	momentum     float64 // β: local heavy-ball momentum; 0 disables
+	stalenessEta float64 // η: α_eff = α/(1+η·staleness); 0 disables
+}
+
+// worker is the Algorithm-1 thread body as an explicit shm.Program state
+// machine (no per-step goroutine handoff on the hot path).
+type worker struct {
+	id     int
+	d      int
+	alpha  float64
+	budget int // T: shared iteration budget
+	oracle grad.Oracle
+	r      *rng.Rand
+	rec    *recorder // nil when recording disabled
+	acc    vec.Dense // local gradient accumulator (Algorithm 2 last epoch); nil when disabled
+	opts   workerOpts
+
+	phase    workerPhase
+	iter     int // thread-local iteration number
+	pos      int // index into reads / nz updates
+	view     vec.Dense
+	g        vec.Dense
+	vel      vec.Dense // momentum velocity (nil unless momentum > 0)
+	nz       []int     // indices of non-zero gradient entries
+	claimed  int       // counter value claimed by the current iteration
+	alphaEff float64   // per-iteration effective step size
+
+	cur IterRecord // record under construction
+}
+
+var _ shm.Program = (*worker)(nil)
+
+func newWorker(id int, alpha float64, budget int, o grad.Oracle, r *rng.Rand, rec *recorder, accumulate bool, opts workerOpts) *worker {
+	d := o.Dim()
+	w := &worker{
+		id:     id,
+		d:      d,
+		alpha:  alpha,
+		budget: budget,
+		oracle: o,
+		r:      r,
+		rec:    rec,
+		opts:   opts,
+		view:   vec.NewDense(d),
+		g:      vec.NewDense(d),
+		nz:     make([]int, 0, d),
+	}
+	if accumulate {
+		w.acc = vec.NewDense(d)
+	}
+	if opts.momentum > 0 {
+		w.vel = vec.NewDense(d)
+	}
+	return w
+}
+
+// Next implements shm.Program, advancing the Algorithm-1 state machine by
+// one shared-memory operation.
+func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
+	switch w.phase {
+	case phaseInit:
+		return w.issueCounter()
+
+	case phaseCounter:
+		// prev.Val is the prior counter value: line 3 of Algorithm 1.
+		if int(prev.Val) >= w.budget {
+			return shm.Request{}, true
+		}
+		w.claimed = int(prev.Val)
+		w.pos = 0
+		w.phase = phaseRead
+		return w.issueRead()
+
+	case phaseRead:
+		w.view[w.pos] = prev.Val
+		w.pos++
+		if w.pos < w.d {
+			return w.issueRead()
+		}
+		// View complete: generate the stochastic gradient (line 5) and,
+		// with momentum enabled, fold it into the local velocity; the
+		// applied direction is then the velocity.
+		w.oracle.Grad(w.g, w.view, w.r)
+		if w.vel != nil {
+			w.vel.Scale(w.opts.momentum)
+			_ = w.vel.Add(w.g)
+			copy(w.g, w.vel)
+		}
+		w.alphaEff = w.alpha
+		if w.rec != nil {
+			w.cur = IterRecord{
+				Thread:    w.id,
+				LocalIter: w.iter,
+				View:      w.view.Clone(),
+				Grad:      w.g.Clone(),
+				GenTime:   prev.Time,
+			}
+		}
+		if w.opts.stalenessEta > 0 {
+			// Staleness-aware mitigation: one extra shared-memory read of
+			// the iteration counter to estimate how stale this gradient
+			// already is, before scaling the step size.
+			w.phase = phaseProbe
+			return shm.Request{
+				Kind: shm.OpRead,
+				Addr: CounterAddr,
+				Tag: contention.Tag{
+					Thread: w.id, Iter: w.iter, Role: contention.RoleProbe,
+				},
+			}, false
+		}
+		return w.beginUpdates()
+
+	case phaseProbe:
+		staleness := int(prev.Val) - w.claimed - 1
+		if staleness < 0 {
+			staleness = 0
+		}
+		w.alphaEff = w.alpha / (1 + w.opts.stalenessEta*float64(staleness))
+		return w.beginUpdates()
+
+	case phaseUpdate:
+		if w.rec != nil {
+			if w.pos == 1 { // result of the first update just arrived
+				w.cur.FirstUp = prev.Time
+			}
+			w.cur.LastUp = prev.Time
+		}
+		if w.pos < len(w.nz) {
+			return w.issueUpdate()
+		}
+		// Iteration finished (its last update's result is prev).
+		if w.rec != nil {
+			w.rec.records = append(w.rec.records, w.cur)
+		}
+		w.iter++
+		return w.issueCounter()
+
+	default:
+		return shm.Request{}, true
+	}
+}
+
+// beginUpdates finalizes the iteration's applied direction and effective
+// step, records bookkeeping, and issues the first model update (or skips
+// straight to the next iteration on a zero direction).
+func (w *worker) beginUpdates() (shm.Request, bool) {
+	w.nz = w.nz[:0]
+	for j, v := range w.g {
+		if v != 0 {
+			w.nz = append(w.nz, j)
+		}
+	}
+	if w.rec != nil {
+		w.cur.AlphaEff = w.alphaEff
+	}
+	if w.acc != nil {
+		_ = w.acc.AddScaled(-w.alphaEff, w.g)
+	}
+	if len(w.nz) == 0 {
+		// Zero direction: nothing to apply; the iteration contributes
+		// the identity update and is not ordered (no fetch&add).
+		w.iter++
+		return w.issueCounter()
+	}
+	w.pos = 0
+	w.phase = phaseUpdate
+	return w.issueUpdate()
+}
+
+func (w *worker) issueCounter() (shm.Request, bool) {
+	w.phase = phaseCounter
+	return shm.Request{
+		Kind: shm.OpFAA,
+		Addr: CounterAddr,
+		Val:  1,
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleCounter,
+		},
+	}, false
+}
+
+func (w *worker) issueRead() (shm.Request, bool) {
+	j := w.pos
+	return shm.Request{
+		Kind: shm.OpRead,
+		Addr: ModelBase + j,
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleRead, Coord: j,
+		},
+	}, false
+}
+
+func (w *worker) issueUpdate() (shm.Request, bool) {
+	j := w.nz[w.pos]
+	first := w.pos == 0
+	last := w.pos == len(w.nz)-1
+	w.pos++
+	return shm.Request{
+		Kind: shm.OpFAA,
+		Addr: ModelBase + j,
+		Val:  -w.alphaEff * w.g[j],
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleUpdate,
+			Coord: j, First: first, Last: last,
+		},
+	}, false
+}

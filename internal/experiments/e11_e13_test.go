@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestE11BothRegimesConvergeWithBound(t *testing.T) {
+	tables, err := E11SparsityAblation(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdsAllYes(t, tables)
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Dense should be at least as fast as single-non-zero per iteration
+	// (the single-nz oracle's M² is d× larger, shrinking its α).
+	dense, single := parseF(t, rows[0][5]), parseF(t, rows[1][5])
+	if dense <= 0 || single <= 0 {
+		t.Fatalf("hit times: dense=%v single=%v", dense, single)
+	}
+	if dense > single {
+		t.Errorf("dense hit %v slower than single-nz %v", dense, single)
+	}
+}
+
+func TestE12MomentumDegradesWithDelay(t *testing.T) {
+	tables, err := E12Momentum(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := tables[0].Rows
+	// For the largest β, the rate at budget=16 must be below budget=0:
+	// staleness compounds with explicit momentum.
+	last := rows[len(rows)-1]
+	if parseF(t, last[3]) >= parseF(t, last[1]) {
+		t.Errorf("β=%s: delay did not hurt momentum: %v vs %v",
+			last[0], last[3], last[1])
+	}
+	// With β=0 the rate barely changes across budgets (α is below the
+	// critical regime here).
+	first := rows[0]
+	if parseF(t, first[3]) < 0.5*parseF(t, first[1]) {
+		t.Errorf("β=0 rate collapsed under delay: %v vs %v", first[3], first[1])
+	}
+}
+
+func TestE13LowerBoundAppliesToMitigation(t *testing.T) {
+	tables, err := E13StalenessAware(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdsAllYes(t, tables)
+	for _, row := range tables[0].Rows {
+		plain, pre, post := parseF(t, row[1]), parseF(t, row[2]), parseF(t, row[3])
+		if pre > plain {
+			t.Errorf("tau=%s: pre-probe mitigation made things worse: %v > %v",
+				row[0], pre, plain)
+		}
+		if post < plain-1e-9 {
+			t.Errorf("tau=%s: post-probe hold was mitigated (%v < %v); adversary should win",
+				row[0], post, plain)
+		}
+	}
+}

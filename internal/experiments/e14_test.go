@@ -1,0 +1,27 @@
+package experiments
+
+import "testing"
+
+func TestE14AllBoundsDominate(t *testing.T) {
+	tables, err := E14AnalysisStyles(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Column pairs (measured, bound): (1,2), (3,4), (5,6).
+	for _, row := range tables[0].Rows {
+		for _, pair := range [][2]int{{1, 2}, {3, 4}, {5, 6}} {
+			meas, bound := parseF(t, row[pair[0]]), parseF(t, row[pair[1]])
+			if meas > bound {
+				t.Errorf("T=%s: measured %v exceeds bound %v (cols %d,%d)",
+					row[0], meas, bound, pair[0], pair[1])
+			}
+		}
+	}
+	// Every bound family decays with T.
+	first, last := tables[0].Rows[0], tables[0].Rows[len(tables[0].Rows)-1]
+	for _, col := range []int{2, 4, 6} {
+		if parseF(t, last[col]) >= parseF(t, first[col]) {
+			t.Errorf("bound column %d not decreasing in T", col)
+		}
+	}
+}

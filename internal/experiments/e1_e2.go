@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"math"
+
+	"asyncsgd/internal/baseline"
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/martingale"
+	"asyncsgd/internal/mathx"
+	"asyncsgd/internal/report"
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/vec"
+)
+
+// E1SequentialBound regenerates Theorem 3.1: sequential SGD with the
+// α = cεϑ/M² step size has P(F_T) ≤ M²/(c²εϑT)·plog(e‖x₀−x*‖²/ε).
+// The table sweeps T and reports the Monte-Carlo estimate with a 95%
+// Wilson interval next to the bound: the bound must dominate the upper
+// confidence limit and both must decay like 1/T.
+func E1SequentialBound(s Scale) ([]*report.Table, error) {
+	const (
+		d     = 4
+		sigma = 1.0
+		r0    = 3.0
+		eps   = 0.1
+		vt    = 1.0
+	)
+	q, x0, err := stdQuadratic(d, sigma, r0, 1.5)
+	if err != nil {
+		return nil, err
+	}
+	cst := q.Constants()
+	alpha := core.AlphaSequential(cst, eps, vt)
+	trials := s.pick(300, 3000)
+	x0DistSq, err := vec.Dist2Sq(x0, q.Optimum())
+	if err != nil {
+		return nil, err
+	}
+
+	tbl := report.New("E1: P(F_T) for sequential SGD, measured vs Theorem 3.1",
+		"T", "P_measured", "CI95_low", "CI95_high", "bound(5)", "bound/meas_hi")
+	tbl.Note = "iso quadratic d=4, c=1, σ=1, ε=0.1, ϑ=1, α=cεϑ/M²=" + report.Fl(alpha)
+	for _, T := range []int{100, 200, 400, 800, 1600} {
+		fails := 0
+		for k := 0; k < trials; k++ {
+			res, err := baseline.RunSequential(baseline.SeqConfig{
+				Oracle: q, X0: x0, Alpha: alpha, Iters: T,
+				Seed: 100 + uint64(k), TrackDist: true,
+			})
+			if err != nil {
+				return nil, err
+			}
+			if res.HitTime(eps) < 0 {
+				fails++
+			}
+		}
+		p := float64(fails) / float64(trials)
+		lo, hi := mathx.WilsonInterval(fails, trials, 1.96)
+		bound := martingale.BoundSequential(cst, eps, vt, T, x0DistSq)
+		ratio := math.Inf(1)
+		if hi > 0 {
+			ratio = bound / hi
+		}
+		tbl.AddRow(report.In(T), report.Fl(p), report.Fl(lo), report.Fl(hi),
+			report.Fl(bound), report.Fl(ratio))
+	}
+	return []*report.Table{tbl}, nil
+}
+
+// E2LowerBound regenerates the Section-5 construction and Theorem 5.1.
+//
+// Table 1 (noiseless): with f(x)=½x², σ=0, x₀=1, the adversary freezes one
+// thread's gradient for τ worker iterations and then merges it. The final
+// |x| must equal |(1−α)^τ − α| exactly, versus (1−α)^{τ+1} without the
+// adversary, and the implied slowdown factor matches
+// τ·log(1−α)/(log α − log 2) = Ω(τ).
+//
+// Table 2 (noise): with x₀=0, σ=1, the measured variance of x_{τ+1}
+// matches the paper's closed form α²σ²(1 + (1−(1−α)^{2τ})/(1−(1−α)²)).
+func E2LowerBound(s Scale) ([]*report.Table, error) {
+	noiseless := report.New("E2a: stale-merge contraction (noiseless, exact)",
+		"alpha", "tau", "|x|_adversary", "predicted |(1-a)^t-a|",
+		"|x|_sequential", "slowdown Ω(τ) (Thm 5.1)")
+	noiseless.Note = "f(x)=x²/2, σ=0, x₀=1; adversary = StaleGradient(τ); τ* = min{τ: 2(1−α)^τ ≤ α}"
+	for _, alpha := range []float64{0.05, 0.1, 0.2} {
+		tauStar := martingale.CriticalDelay(alpha)
+		for _, tau := range []int{tauStar, 2 * tauStar} {
+			got, err := runStale(alpha, 0, 1, tau, 1)
+			if err != nil {
+				return nil, err
+			}
+			noiseless.AddRow(
+				report.Fl(alpha), report.In(tau),
+				report.Fl(math.Abs(got[0])),
+				report.Fl(martingale.StaleContraction(alpha, tau)),
+				report.Fl(martingale.SequentialContraction(alpha, tau)),
+				report.Fl(martingale.SlowdownFactor(alpha, tau)),
+			)
+		}
+	}
+
+	noisy := report.New("E2b: merged-noise variance vs closed form",
+		"alpha", "tau", "var_measured", "var_predicted", "ratio")
+	noisy.Note = "f(x)=x²/2, σ=1, x₀=0; variance over Monte-Carlo trials"
+	trials := s.pick(2000, 20000)
+	for _, alpha := range []float64{0.1, 0.2} {
+		for _, tau := range []int{5, 15} {
+			var w mathx.Welford
+			for k := 0; k < trials; k++ {
+				got, err := runStale(alpha, 1, 0, tau, 1000+uint64(k))
+				if err != nil {
+					return nil, err
+				}
+				w.Add(got[0])
+			}
+			meas := w.Variance() + w.Mean()*w.Mean() // E[x²]; mean ≈ 0
+			pred := martingale.StaleNoiseVariance(alpha, 1, tau)
+			noisy.AddRow(report.Fl(alpha), report.In(tau),
+				report.Fl(meas), report.Fl(pred), report.Fl(meas/pred))
+		}
+	}
+	return []*report.Table{noiseless, noisy}, nil
+}
+
+// runStale executes the Section-5 schedule: two threads on Quad1D, victim
+// thread 1 frozen for tau worker iterations, total budget tau+1.
+func runStale(alpha, sigma, x0 float64, tau int, seed uint64) (vec.Dense, error) {
+	q, err := grad.NewQuad1D(sigma, math.Abs(x0)+1)
+	if err != nil {
+		return nil, err
+	}
+	res, err := core.RunEpoch(core.EpochConfig{
+		Threads:    2,
+		TotalIters: tau + 1,
+		Alpha:      alpha,
+		Oracle:     q,
+		Policy:     &sched.StaleGradient{Victim: 1, DelayIters: tau},
+		Seed:       seed,
+		X0:         vec.Dense{x0},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.FinalX, nil
+}

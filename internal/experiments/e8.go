@@ -1,0 +1,149 @@
+package experiments
+
+import (
+	"math"
+
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/martingale"
+	"asyncsgd/internal/mathx"
+	"asyncsgd/internal/report"
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/shm"
+	"asyncsgd/internal/vec"
+)
+
+// E8Tradeoff regenerates the Section-8 discussion: the lower bound
+// (Theorem 5.1) and the upper bound (Theorem 6.5) are complementary
+// regimes separated by the step size.
+//
+// The workload is the Section-5 problem made repeated: noiseless
+// f(x) = ½x², two threads, and the max-staleness adversary, which merges
+// a τ-stale gradient every ≈τ iterations forever. The dynamics are
+// deterministic, so one run per cell is exact. The measured quantity is
+// the per-iteration convergence RATE −log(|x_T|/|x₀|)/T (Theorem 5.1 is a
+// rate statement), and each strategy's slowdown is taken against its own
+// adversary-free rate, isolating the delay response from the step-size
+// magnitude:
+//
+//   - fixed α past its critical delay: every merge resets |x| to
+//     ≈ α·|x_prev|, so the rate collapses to ≈ log(2/α)/τ — slowdown
+//     LINEAR in τ (Theorem 5.1's Ω(τ));
+//   - Corollary-6.7 α ∝ 1/√(τ·n): merges become harmless, slowdown stays
+//     ≈ 1, and the absolute rate decays only like 1/√τ — the paper's
+//     √(τmax·n) price of asynchrony.
+func E8Tradeoff(s Scale) ([]*report.Table, error) {
+	const (
+		alphaFixed = 0.3
+		x0         = 1.2
+		eps        = 2.5e-3 // ε of the Corollary-6.7 step-size formula
+		n          = 2
+		d          = 1
+		vt         = 1.0
+	)
+	crit := martingale.CriticalDelay(alphaFixed)
+	capT := s.pick(60000, 120000)
+	cst := grad.Constants{C: 1, L: 1, M2: (x0 + 1) * (x0 + 1), R: x0 + 1}
+
+	tbl := report.New("E8: fixed α vs Corollary-6.7 α under a repeated stale-merge adversary",
+		"budget", "rate fixed-α", "slowdown fixed-α",
+		"alpha(12)", "rate (12)-α", "slowdown (12)-α")
+	tbl.Note = "noiseless f(x)=x²/2, |x₀|=1.2; rate = −log(|x_T|/|x₀|)/T; " +
+		"fixed α=" + report.Fl(alphaFixed) + " (critical delay τ*=" + report.In(crit) +
+		"); slowdown = rate(adversary-free)/rate(τ)"
+
+	budgets := []int{0, 8, 32, 128}
+	baseRate := map[bool]float64{}
+	type pt struct{ tau, slow float64 }
+	var fixedPts, asyncPts []pt
+	for _, budget := range budgets {
+		tauAssumed := budget + 2*n
+		row := []string{report.In(budget)}
+		for _, fixed := range []bool{true, false} {
+			alpha := alphaFixed
+			var T int
+			if fixed {
+				T = 30*budget + 120
+			} else {
+				alpha = core.AlphaAsync(cst, eps, vt, tauAssumed, n, d)
+				T = int(16 / alpha)
+			}
+			if T > capT {
+				T = capT
+			}
+			rate, err := staleMergeRate(alpha, x0, budget, T)
+			if err != nil {
+				return nil, err
+			}
+			slowCell := "1"
+			var slow float64 = 1
+			if budget == 0 {
+				baseRate[fixed] = rate
+			} else if base := baseRate[fixed]; base > 0 && rate > 0 {
+				slow = base / rate
+				slowCell = report.Fl(slow)
+			} else {
+				slowCell = "-"
+			}
+			if fixed {
+				row = append(row, report.Fl(rate), slowCell)
+			} else {
+				row = append(row, report.Fl(alpha), report.Fl(rate), slowCell)
+			}
+			if budget > 0 && slow > 0 {
+				p := pt{float64(budget), slow}
+				if fixed {
+					fixedPts = append(fixedPts, p)
+				} else {
+					asyncPts = append(asyncPts, p)
+				}
+			}
+		}
+		tbl.AddRow(row...)
+	}
+	fit := func(pts []pt) (float64, float64) {
+		xs := make([]float64, len(pts))
+		ys := make([]float64, len(pts))
+		for i, p := range pts {
+			xs[i], ys[i] = p.tau, p.slow
+		}
+		_, exp, r2 := mathx.PowerFit(xs, ys)
+		return exp, r2
+	}
+	if len(fixedPts) >= 2 && len(asyncPts) >= 2 {
+		fe, fr := fit(fixedPts)
+		ae, ar := fit(asyncPts)
+		tbl.Note += "; slowdown exponents in τ: fixed-α p=" + report.Fl(fe) +
+			" (r²=" + report.Fl(fr) + ", Thm 5.1 predicts 1), (12)-α p=" +
+			report.Fl(ae) + " (Cor 6.7 predicts ≈ 0)"
+		_ = ar
+	}
+	return []*report.Table{tbl}, nil
+}
+
+// staleMergeRate runs the deterministic repeated-stale-merge dynamics for
+// T ordered iterations and returns the per-iteration log contraction rate.
+func staleMergeRate(alpha, x0 float64, budget, T int) (float64, error) {
+	q, err := grad.NewQuad1D(0, math.Abs(x0)+1)
+	if err != nil {
+		return 0, err
+	}
+	var pol shm.Policy
+	if budget == 0 {
+		pol = &sched.RoundRobin{}
+	} else {
+		pol = &sched.MaxStale{Budget: budget}
+	}
+	res, err := core.RunEpoch(core.EpochConfig{
+		Threads: 2, TotalIters: T, Alpha: alpha, Oracle: q,
+		Policy: pol, Seed: 1, X0: vec.Dense{x0},
+	})
+	if err != nil {
+		return 0, err
+	}
+	xT := math.Abs(res.FinalX[0])
+	if xT == 0 {
+		xT = math.SmallestNonzeroFloat64
+	}
+	return -math.Log(xT/math.Abs(x0)) / float64(T), nil
+}

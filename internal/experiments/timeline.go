@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"asyncsgd/internal/contention"
+)
+
+// RenderTimeline renders a per-thread Gantt view of an execution: one row
+// per thread, one column per machine step, with 'C' for the iteration-
+// claiming counter fetch&add, 'r' for view reads, 'U' for model updates,
+// and '.' when another thread holds the step. It complements the Figure-1
+// matrix by showing WHERE the adversary froze each thread. maxSteps caps
+// the width (0 = everything).
+func RenderTimeline(tls []contention.IterTimeline, threads, maxSteps int) string {
+	// Determine the horizon.
+	horizon := 0
+	for _, tl := range tls {
+		for _, ts := range [][]int{tl.ReadTimes, tl.UpdateTimes} {
+			for _, v := range ts {
+				if v > horizon {
+					horizon = v
+				}
+			}
+		}
+		if tl.Start > horizon {
+			horizon = tl.Start
+		}
+	}
+	if maxSteps > 0 && horizon > maxSteps {
+		horizon = maxSteps
+	}
+	if horizon == 0 {
+		return "(empty execution)"
+	}
+	rows := make([][]byte, threads)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", horizon))
+	}
+	put := func(thread, time int, c byte) {
+		if time >= 1 && time <= horizon && thread >= 0 && thread < threads {
+			rows[thread][time-1] = c
+		}
+	}
+	for _, tl := range tls {
+		put(tl.Thread, tl.Start, 'C')
+		for _, rt := range tl.ReadTimes {
+			put(tl.Thread, rt, 'r')
+		}
+		for _, ut := range tl.UpdateTimes {
+			put(tl.Thread, ut, 'U')
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "steps 1..%d; C=claim r=read U=update .=descheduled\n", horizon)
+	for i, row := range rows {
+		fmt.Fprintf(&b, "thread %d: %s\n", i, row)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"asyncsgd/internal/contention"
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/sched"
+)
+
+func TestRenderTimeline(t *testing.T) {
+	q, err := grad.NewIsoQuadratic(2, 1, 0.3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.RunEpoch(core.EpochConfig{
+		Threads: 2, TotalIters: 8, Alpha: 0.05, Oracle: q,
+		Policy: &sched.MaxStale{Budget: 3}, Seed: 1, Track: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RenderTimeline(res.Tracker.Timelines(), 2, 0)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 3 { // header + 2 thread rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	for _, c := range []string{"C", "r", "U", "."} {
+		if !strings.Contains(out, c) {
+			t.Errorf("timeline missing %q:\n%s", c, out)
+		}
+	}
+	// Rows must have equal width.
+	if len(lines[1]) != len(lines[2]) {
+		t.Errorf("ragged rows:\n%s", out)
+	}
+	// At each step at most one thread is scheduled (columns with no mark
+	// are untracked ops such as over-budget counter claims).
+	r0 := lines[1][len("thread 0: "):]
+	r1 := lines[2][len("thread 1: "):]
+	marked := 0
+	for i := range r0 {
+		a, b := r0[i] != '.', r1[i] != '.'
+		if a && b {
+			t.Fatalf("column %d has two scheduled threads", i)
+		}
+		if a || b {
+			marked++
+		}
+	}
+	if marked < len(r0)/2 {
+		t.Errorf("only %d/%d columns marked", marked, len(r0))
+	}
+}
+
+func TestRenderTimelineEmptyAndCapped(t *testing.T) {
+	if got := RenderTimeline(nil, 2, 0); got != "(empty execution)" {
+		t.Errorf("empty = %q", got)
+	}
+	tl := []contention.IterTimeline{{
+		Thread: 0, Start: 1,
+		ReadTimes:   []int{2, 3},
+		UpdateTimes: []int{4, 500},
+	}}
+	out := RenderTimeline(tl, 1, 10)
+	row := strings.Split(out, "\n")[1]
+	if len(row) != len("thread 0: ")+10 {
+		t.Errorf("cap not applied: %q", row)
+	}
+}

@@ -1,0 +1,175 @@
+package grad
+
+import (
+	"fmt"
+	"math"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// MatrixFactorization is the classic non-convex Hogwild workload (the
+// motivation of De Sa et al.'s martingale techniques the paper builds on):
+// recover a rank-r matrix M ∈ R^{m×n} from observed entries by minimizing
+//
+//	f(U, V) = (1/|Ω|) Σ_{(i,j)∈Ω} ½ (⟨U_i, V_j⟩ − M_ij)²
+//
+// over x = (vec(U), vec(V)) ∈ R^{(m+n)·r}. Each stochastic gradient
+// samples one observed entry and touches only the 2r coordinates of U_i
+// and V_j — the sparse-update regime where lock-free SGD shines.
+//
+// The objective is NOT strongly convex (Constants.C = 0): it sits outside
+// the paper's convex theory and is provided as the workload for the
+// ergodic/practical story (§8) and the real-thread examples. Optimum
+// returns the planted factors; note ‖x − x*‖ is only meaningful up to the
+// rotation invariance of the factorization — use Value for progress.
+type MatrixFactorization struct {
+	m, n, r int
+	rows    []int // observed entry coordinates
+	cols    []int
+	vals    []float64 // observed values
+	planted vec.Dense // concatenated planted factors (diagnostics only)
+	maxAbs  float64   // max |M_ij| over observations
+}
+
+var _ Oracle = (*MatrixFactorization)(nil)
+
+// MFConfig parameterizes NewMatrixFactorization.
+type MFConfig struct {
+	M, N, Rank int
+	// ObserveProb is the probability each entry of the planted matrix is
+	// observed (Bernoulli sampling of Ω).
+	ObserveProb float64
+	// NoiseStd perturbs observed entries.
+	NoiseStd float64
+}
+
+// NewMatrixFactorization plants random factors U♮ ∈ R^{m×r}, V♮ ∈ R^{n×r}
+// with N(0, 1/√r) entries and samples the observation set.
+func NewMatrixFactorization(cfg MFConfig, r *rng.Rand) (*MatrixFactorization, error) {
+	if cfg.M <= 0 || cfg.N <= 0 || cfg.Rank <= 0 ||
+		cfg.ObserveProb <= 0 || cfg.ObserveProb > 1 || cfg.NoiseStd < 0 {
+		return nil, fmt.Errorf("%w: %+v", ErrBadParam, cfg)
+	}
+	mf := &MatrixFactorization{m: cfg.M, n: cfg.N, r: cfg.Rank}
+	scale := 1 / math.Sqrt(float64(cfg.Rank))
+	planted := vec.NewDense((cfg.M + cfg.N) * cfg.Rank)
+	r.NormalVector(planted, scale)
+	mf.planted = planted
+	for i := 0; i < cfg.M; i++ {
+		for j := 0; j < cfg.N; j++ {
+			if !r.Bernoulli(cfg.ObserveProb) {
+				continue
+			}
+			v := dotRC(planted, cfg.Rank, cfg.M, i, j) + cfg.NoiseStd*r.Normal()
+			mf.rows = append(mf.rows, i)
+			mf.cols = append(mf.cols, j)
+			mf.vals = append(mf.vals, v)
+			if a := math.Abs(v); a > mf.maxAbs {
+				mf.maxAbs = a
+			}
+		}
+	}
+	if len(mf.vals) == 0 {
+		return nil, fmt.Errorf("%w: no entries observed", ErrBadParam)
+	}
+	return mf, nil
+}
+
+// dotRC computes ⟨U_i, V_j⟩ for the concatenated parameter vector.
+func dotRC(x vec.Dense, rank, m, i, j int) float64 {
+	var s float64
+	ui := i * rank
+	vj := (m + j) * rank
+	for k := 0; k < rank; k++ {
+		s += x[ui+k] * x[vj+k]
+	}
+	return s
+}
+
+// Dim implements Oracle.
+func (mf *MatrixFactorization) Dim() int { return (mf.m + mf.n) * mf.r }
+
+// Observations returns the number of observed entries.
+func (mf *MatrixFactorization) Observations() int { return len(mf.vals) }
+
+// Value implements Oracle: the mean squared residual over observations.
+func (mf *MatrixFactorization) Value(x vec.Dense) float64 {
+	var s float64
+	for k := range mf.vals {
+		e := dotRC(x, mf.r, mf.m, mf.rows[k], mf.cols[k]) - mf.vals[k]
+		s += 0.5 * e * e
+	}
+	return s / float64(len(mf.vals))
+}
+
+// RMSE returns the root mean squared residual, the conventional progress
+// metric for factorization.
+func (mf *MatrixFactorization) RMSE(x vec.Dense) float64 {
+	return math.Sqrt(2 * mf.Value(x))
+}
+
+// FullGrad implements Oracle.
+func (mf *MatrixFactorization) FullGrad(dst, x vec.Dense) {
+	dst.Zero()
+	w := 1 / float64(len(mf.vals))
+	for k := range mf.vals {
+		mf.accumEntry(dst, x, k, w)
+	}
+}
+
+// Grad implements Oracle: one uniformly sampled observed entry; the
+// gradient has exactly 2r non-zero coordinates.
+func (mf *MatrixFactorization) Grad(dst, x vec.Dense, r *rng.Rand) {
+	dst.Zero()
+	mf.accumEntry(dst, x, r.Intn(len(mf.vals)), 1)
+}
+
+func (mf *MatrixFactorization) accumEntry(dst, x vec.Dense, k int, w float64) {
+	i, j := mf.rows[k], mf.cols[k]
+	e := w * (dotRC(x, mf.r, mf.m, i, j) - mf.vals[k])
+	ui := i * mf.r
+	vj := (mf.m + j) * mf.r
+	for kk := 0; kk < mf.r; kk++ {
+		dst[ui+kk] += e * x[vj+kk]
+		dst[vj+kk] += e * x[ui+kk]
+	}
+}
+
+// Optimum implements Oracle, returning the planted factors (see the type
+// comment for the rotation-invariance caveat).
+func (mf *MatrixFactorization) Optimum() vec.Dense { return mf.planted.Clone() }
+
+// Constants implements Oracle. The objective is non-convex: C is 0 and the
+// remaining constants are coarse local bounds around the planted factors
+// (radius R = 2·‖x♮‖∞·√r): per-entry gradients are bounded by
+// |e|·‖factor row‖ with |e| ≤ maxAbs + R² and row norms ≤ R.
+func (mf *MatrixFactorization) Constants() Constants {
+	rad := 2 * mf.planted.NormInf() * math.Sqrt(float64(mf.r))
+	eBound := mf.maxAbs + rad*rad
+	g := eBound * rad * math.Sqrt(float64(2*mf.r))
+	return Constants{
+		C:  0,
+		L:  2 * rad * rad,
+		M2: g * g,
+		R:  rad,
+	}
+}
+
+// CloneFor implements Oracle; the observation arrays are immutable and
+// shared.
+func (mf *MatrixFactorization) CloneFor(int) Oracle {
+	cp := *mf
+	cp.planted = mf.planted.Clone()
+	return &cp
+}
+
+// InitNear returns a starting point: the planted factors perturbed by
+// N(0, jitter²) noise (a warm start, standard for local analyses of MF).
+func (mf *MatrixFactorization) InitNear(jitter float64, r *rng.Rand) vec.Dense {
+	x := mf.planted.Clone()
+	noise := vec.NewDense(x.Dim())
+	r.NormalVector(noise, jitter)
+	_ = x.Add(noise)
+	return x
+}

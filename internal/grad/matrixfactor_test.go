@@ -1,0 +1,136 @@
+package grad
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+func mfFixture(t *testing.T) *MatrixFactorization {
+	t.Helper()
+	mf, err := NewMatrixFactorization(MFConfig{
+		M: 12, N: 10, Rank: 3, ObserveProb: 0.6, NoiseStd: 0,
+	}, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mf
+}
+
+func TestMFValidation(t *testing.T) {
+	bad := []MFConfig{
+		{},
+		{M: 2, N: 2, Rank: 0, ObserveProb: 0.5},
+		{M: 2, N: 2, Rank: 1, ObserveProb: 0},
+		{M: 2, N: 2, Rank: 1, ObserveProb: 1.5},
+		{M: 2, N: 2, Rank: 1, ObserveProb: 0.5, NoiseStd: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := NewMatrixFactorization(cfg, rng.New(1)); !errors.Is(err, ErrBadParam) {
+			t.Errorf("config %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestMFPlantedIsZeroResidual(t *testing.T) {
+	mf := mfFixture(t)
+	if v := mf.Value(mf.Optimum()); v > 1e-20 {
+		t.Errorf("Value at planted factors = %v, want 0 (noiseless)", v)
+	}
+	if r := mf.RMSE(mf.Optimum()); r > 1e-10 {
+		t.Errorf("RMSE at planted = %v", r)
+	}
+}
+
+func TestMFGradientSparsity(t *testing.T) {
+	mf := mfFixture(t)
+	x := mf.InitNear(0.3, rng.New(6))
+	g := vec.NewDense(mf.Dim())
+	r := rng.New(7)
+	for k := 0; k < 30; k++ {
+		mf.Grad(g, x, r)
+		if nnz := g.NNZ(); nnz > 2*3 {
+			t.Fatalf("gradient has %d non-zeros, want ≤ 2r = 6", nnz)
+		}
+	}
+}
+
+func TestMFGradUnbiased(t *testing.T) {
+	mf := mfFixture(t)
+	x := mf.InitNear(0.3, rng.New(8))
+	g := vec.NewDense(mf.Dim())
+	mean := vec.NewDense(mf.Dim())
+	full := vec.NewDense(mf.Dim())
+	r := rng.New(9)
+	const draws = 60000
+	for k := 0; k < draws; k++ {
+		mf.Grad(g, x, r)
+		_ = mean.Add(g)
+	}
+	mean.Scale(1 / float64(draws))
+	mf.FullGrad(full, x)
+	dist, err := vec.Dist2(mean, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist > 0.05*(1+full.Norm2()) {
+		t.Errorf("biased MF gradient: ‖Eg̃−∇f‖ = %v", dist)
+	}
+}
+
+func TestMFFiniteDifference(t *testing.T) {
+	mf := mfFixture(t)
+	x := mf.InitNear(0.2, rng.New(10))
+	g := vec.NewDense(mf.Dim())
+	mf.FullGrad(g, x)
+	const h = 1e-6
+	for _, j := range []int{0, 5, mf.Dim() - 1} {
+		xp, xm := x.Clone(), x.Clone()
+		xp[j] += h
+		xm[j] -= h
+		fd := (mf.Value(xp) - mf.Value(xm)) / (2 * h)
+		if math.Abs(fd-g[j]) > 1e-4*(1+math.Abs(fd)) {
+			t.Errorf("coord %d: finite diff %v vs grad %v", j, fd, g[j])
+		}
+	}
+}
+
+func TestMFSGDReducesRMSE(t *testing.T) {
+	mf := mfFixture(t)
+	r := rng.New(11)
+	x := mf.InitNear(0.4, r)
+	before := mf.RMSE(x)
+	g := vec.NewDense(mf.Dim())
+	for k := 0; k < 20000; k++ {
+		mf.Grad(g, x, r)
+		_ = x.AddScaled(-0.05, g)
+	}
+	after := mf.RMSE(x)
+	if after > before/5 {
+		t.Errorf("SGD did not reduce RMSE: %v -> %v", before, after)
+	}
+}
+
+func TestMFConstantsAndClone(t *testing.T) {
+	mf := mfFixture(t)
+	cst := mf.Constants()
+	if cst.C != 0 {
+		t.Errorf("non-convex objective must report C=0, got %v", cst.C)
+	}
+	if cst.L <= 0 || cst.M2 <= 0 || cst.R <= 0 {
+		t.Errorf("constants implausible: %+v", cst)
+	}
+	cl, ok := mf.CloneFor(1).(*MatrixFactorization)
+	if !ok {
+		t.Fatal("clone type")
+	}
+	if &cl.planted[0] == &mf.planted[0] {
+		t.Error("clone aliases planted factors")
+	}
+	if cl.Observations() != mf.Observations() {
+		t.Error("clone lost observations")
+	}
+}

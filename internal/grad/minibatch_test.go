@@ -1,0 +1,83 @@
+package grad
+
+import (
+	"testing"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+func TestMiniBatchUnbiasedAndDelegates(t *testing.T) {
+	base, err := NewIsoQuadratic(3, 1, 0.5, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := NewMiniBatch(base, 4)
+	if mb.Dim() != 3 {
+		t.Fatalf("dim = %d", mb.Dim())
+	}
+	checkUnbiased(t, mb, 11, 20000, 0.03)
+	x := vec.Dense{1, 2, 3}
+	if mb.Value(x) != base.Value(x) {
+		t.Error("Value must delegate")
+	}
+	g1, g2 := vec.NewDense(3), vec.NewDense(3)
+	mb.FullGrad(g1, x)
+	base.FullGrad(g2, x)
+	if !vec.ApproxEqual(g1, g2, 0) {
+		t.Error("FullGrad must delegate")
+	}
+	if !vec.ApproxEqual(mb.Optimum(), base.Optimum(), 0) {
+		t.Error("Optimum must delegate")
+	}
+}
+
+func TestMiniBatchReducesSecondMoment(t *testing.T) {
+	base, err := NewIsoQuadratic(3, 1, 1.0, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := func(b int) float64 {
+		return EstimateM2(NewMiniBatch(base, b), 1, 10, 2000, rng.New(21))
+	}
+	m1, m8 := est(1), est(8)
+	if m8 >= m1 {
+		t.Errorf("batch 8 second moment %v not below batch 1 %v", m8, m1)
+	}
+	// Analytic constant shrinks too, but never below the mean-square part.
+	c1 := NewMiniBatch(base, 1).Constants()
+	c8 := NewMiniBatch(base, 8).Constants()
+	if c8.M2 >= c1.M2 {
+		t.Errorf("analytic M²: batch 8 %v not below batch 1 %v", c8.M2, c1.M2)
+	}
+	// Empirical must stay below analytic for both.
+	if m8 > c8.M2*1.05 {
+		t.Errorf("empirical %v exceeds analytic %v at batch 8", m8, c8.M2)
+	}
+}
+
+func TestMiniBatchPassThrough(t *testing.T) {
+	base, err := NewQuad1D(0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := NewMiniBatch(base, 0) // clamps to 1
+	if mb.B != 1 {
+		t.Fatalf("B = %d", mb.B)
+	}
+	if mb.Constants() != base.Constants() {
+		t.Error("B=1 must not change constants")
+	}
+	// Identical stream ⇒ identical draws as the base oracle.
+	r1, r2 := rng.New(5), rng.New(5)
+	g1, g2 := vec.NewDense(1), vec.NewDense(1)
+	mb.Grad(g1, vec.Dense{1}, r1)
+	base.Grad(g2, vec.Dense{1}, r2)
+	if g1[0] != g2[0] {
+		t.Errorf("pass-through draw differs: %v vs %v", g1[0], g2[0])
+	}
+	cl := mb.CloneFor(2)
+	if cl.Dim() != 1 {
+		t.Error("clone broken")
+	}
+}

@@ -1,0 +1,74 @@
+package hogwild
+
+import (
+	"fmt"
+	"math"
+
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/vec"
+)
+
+// FullConfig parameterizes the real-thread Algorithm 2: a sequence of
+// lock-free epochs with halving learning rates. Epoch fencing is by
+// construction — each epoch is a fresh Run whose workers have all joined
+// before the next epoch starts, so a gradient generated in one epoch can
+// never be applied in a later one (the paper's per-epoch-model condition).
+type FullConfig struct {
+	Workers       int
+	Epsilon       float64
+	Alpha0        float64
+	ItersPerEpoch int
+	Oracle        grad.Oracle
+	Seed          uint64
+	Mode          Mode
+	Epochs        int // 0 ⇒ the Corollary-7.1 count ⌈log₂(α²Mn/√ε)⌉
+}
+
+// FullResult is the outcome of the real-thread Algorithm 2.
+type FullResult struct {
+	Final     vec.Dense
+	Epochs    int
+	FinalDist float64
+}
+
+// RunFull executes Algorithm 2 on real goroutines.
+func RunFull(cfg FullConfig) (*FullResult, error) {
+	if cfg.Workers <= 0 || cfg.Epsilon <= 0 || cfg.Alpha0 <= 0 ||
+		cfg.ItersPerEpoch <= 0 || cfg.Oracle == nil {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	epochs := cfg.Epochs
+	if epochs <= 0 {
+		cst := cfg.Oracle.Constants()
+		v := cfg.Alpha0 * cfg.Alpha0 * math.Sqrt(cst.M2) * float64(cfg.Workers) /
+			math.Sqrt(cfg.Epsilon)
+		if v <= 2 {
+			epochs = 1
+		} else {
+			epochs = int(math.Ceil(math.Log2(v)))
+		}
+	}
+	x := vec.NewDense(cfg.Oracle.Dim())
+	alpha := cfg.Alpha0
+	for e := 0; e < epochs; e++ {
+		res, err := Run(Config{
+			Workers:    cfg.Workers,
+			TotalIters: cfg.ItersPerEpoch,
+			Alpha:      alpha,
+			Oracle:     cfg.Oracle,
+			Seed:       cfg.Seed + uint64(e)*0x9E3779B9,
+			Mode:       cfg.Mode,
+			X0:         x,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("epoch %d: %w", e, err)
+		}
+		x = res.Final
+		alpha /= 2
+	}
+	dist, err := vec.Dist2(x, cfg.Oracle.Optimum())
+	if err != nil {
+		return nil, err
+	}
+	return &FullResult{Final: x, Epochs: epochs, FinalDist: dist}, nil
+}

@@ -1,0 +1,209 @@
+// Package hogwild is the real-thread counterpart of internal/core: the
+// same lock-free Algorithm 1 executed by actual goroutines over an atomic
+// float vector (CAS-emulated fetch&add), plus the coarse-lock baseline the
+// paper contrasts it with (Langford et al.'s consistent locking) and a
+// sharded per-coordinate-lock middle ground.
+//
+// The discrete simulator (internal/core) is the vehicle for the paper's
+// worst-case claims — a real scheduler cannot be made adversarial — while
+// this package demonstrates the §8 practical story: throughput and
+// convergence under OS scheduling. On a single-core host the numbers show
+// shape only; EXPERIMENTS.md records that caveat.
+package hogwild
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncsgd/internal/atomicfloat"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// Mode selects the synchronization discipline.
+type Mode uint8
+
+// Synchronization modes.
+const (
+	// LockFree is Algorithm 1: atomic per-coordinate fetch&add, no locks.
+	LockFree Mode = iota + 1
+	// CoarseLock serializes whole iterations under one mutex (the
+	// consistent baseline of Langford et al. the paper's introduction
+	// discusses).
+	CoarseLock
+	// ShardedLock guards each coordinate with its own mutex: consistent
+	// per-coordinate access, inconsistent views — an intermediate design.
+	ShardedLock
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case LockFree:
+		return "lock-free"
+	case CoarseLock:
+		return "coarse-lock"
+	case ShardedLock:
+		return "sharded-lock"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// Config parameterizes a run.
+type Config struct {
+	Workers    int
+	TotalIters int
+	Alpha      float64
+	Oracle     grad.Oracle
+	Seed       uint64
+	Mode       Mode
+	Padded     bool      // cache-line-pad the atomic vector (LockFree only)
+	X0         vec.Dense // nil ⇒ zeros
+	// SampleStaleness enables the staleness probe: each iteration records
+	// how many iterations were claimed between its view snapshot and its
+	// last update (an online proxy for interval contention).
+	SampleStaleness bool
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Final         vec.Dense
+	Iters         int
+	Elapsed       time.Duration
+	UpdatesPerSec float64
+	MaxStaleness  int     // max probe value (SampleStaleness)
+	AvgStaleness  float64 // mean probe value (SampleStaleness)
+}
+
+// ErrBadConfig reports invalid parameters.
+var ErrBadConfig = errors.New("hogwild: invalid configuration")
+
+// Run executes the configured parallel SGD to completion and reports
+// timing and staleness statistics.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Workers <= 0 || cfg.TotalIters <= 0 || cfg.Alpha <= 0 || cfg.Oracle == nil {
+		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
+	}
+	if cfg.Mode == 0 {
+		cfg.Mode = LockFree
+	}
+	d := cfg.Oracle.Dim()
+	x0 := cfg.X0
+	if x0 == nil {
+		x0 = vec.NewDense(d)
+	}
+	if x0.Dim() != d {
+		return nil, fmt.Errorf("%w: X0 dim %d vs oracle %d", ErrBadConfig, x0.Dim(), d)
+	}
+
+	var model *atomicfloat.Vector
+	if cfg.Padded {
+		model = atomicfloat.NewPaddedVector(d)
+	} else {
+		model = atomicfloat.NewVector(d)
+	}
+	model.StoreAll(x0)
+
+	var (
+		counter  atomic.Int64
+		mu       sync.Mutex   // CoarseLock
+		shards   []sync.Mutex // ShardedLock
+		staleSum atomic.Int64
+		staleMax atomic.Int64
+		staleN   atomic.Int64
+	)
+	if cfg.Mode == ShardedLock {
+		shards = make([]sync.Mutex, d)
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			oracle := cfg.Oracle.CloneFor(id)
+			r := rng.NewStream(cfg.Seed, uint64(id)+1)
+			view := vec.NewDense(d)
+			g := vec.NewDense(d)
+			for {
+				claimed := counter.Add(1) - 1
+				if claimed >= int64(cfg.TotalIters) {
+					return
+				}
+				switch cfg.Mode {
+				case CoarseLock:
+					mu.Lock()
+					model.Snapshot(view)
+					oracle.Grad(g, view, r)
+					for j := 0; j < d; j++ {
+						if g[j] != 0 {
+							model.Store(j, model.Load(j)-cfg.Alpha*g[j])
+						}
+					}
+					mu.Unlock()
+				case ShardedLock:
+					for j := 0; j < d; j++ {
+						shards[j].Lock()
+						view[j] = model.Load(j)
+						shards[j].Unlock()
+					}
+					oracle.Grad(g, view, r)
+					for j := 0; j < d; j++ {
+						if g[j] == 0 {
+							continue
+						}
+						shards[j].Lock()
+						model.Store(j, model.Load(j)-cfg.Alpha*g[j])
+						shards[j].Unlock()
+					}
+				default: // LockFree: Algorithm 1 verbatim
+					model.Snapshot(view)
+					oracle.Grad(g, view, r)
+					for j := 0; j < d; j++ {
+						if g[j] != 0 {
+							model.FetchAdd(j, -cfg.Alpha*g[j])
+						}
+					}
+				}
+				if cfg.SampleStaleness {
+					span := counter.Load() - claimed - 1
+					if span < 0 {
+						span = 0
+					}
+					staleSum.Add(span)
+					staleN.Add(1)
+					for {
+						cur := staleMax.Load()
+						if span <= cur || staleMax.CompareAndSwap(cur, span) {
+							break
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	final := vec.NewDense(d)
+	model.Snapshot(final)
+	res := &Result{
+		Final:   final,
+		Iters:   cfg.TotalIters,
+		Elapsed: elapsed,
+	}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.UpdatesPerSec = float64(cfg.TotalIters) / secs
+	}
+	if n := staleN.Load(); n > 0 {
+		res.AvgStaleness = float64(staleSum.Load()) / float64(n)
+		res.MaxStaleness = int(staleMax.Load())
+	}
+	return res, nil
+}

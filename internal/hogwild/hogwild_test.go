@@ -1,0 +1,151 @@
+package hogwild
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// constOracle returns the constant gradient 1 in every coordinate; the
+// final model is then −α·T/d·1 deterministic under ANY interleaving iff
+// fetch&add loses no updates... actually exactly −α·T in every coordinate
+// since every iteration updates all coordinates by −α.
+type constOracle struct{ d int }
+
+func (c constOracle) Dim() int                           { return c.d }
+func (c constOracle) Value(vec.Dense) float64            { return 0 }
+func (c constOracle) FullGrad(dst, _ vec.Dense)          { dst.Fill(1) }
+func (c constOracle) Grad(dst, _ vec.Dense, _ *rng.Rand) { dst.Fill(1) }
+func (c constOracle) Optimum() vec.Dense                 { return vec.NewDense(c.d) }
+func (c constOracle) Constants() grad.Constants {
+	return grad.Constants{C: 1, L: 1, M2: float64(c.d), R: 1}
+}
+func (c constOracle) CloneFor(int) grad.Oracle { return c }
+
+var _ grad.Oracle = constOracle{}
+
+func TestRunValidation(t *testing.T) {
+	q := constOracle{d: 2}
+	bad := []Config{
+		{},
+		{Workers: 0, TotalIters: 5, Alpha: 0.1, Oracle: q},
+		{Workers: 1, TotalIters: 0, Alpha: 0.1, Oracle: q},
+		{Workers: 1, TotalIters: 5, Alpha: 0, Oracle: q},
+		{Workers: 1, TotalIters: 5, Alpha: 0.1, Oracle: q, X0: vec.Dense{1, 2, 3}},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg); !errors.Is(err, ErrBadConfig) {
+			t.Errorf("config %d accepted: %v", i, err)
+		}
+	}
+}
+
+func TestNoLostUpdatesAllModes(t *testing.T) {
+	// With a constant gradient, X_final[j] = −α·T exactly; any lost update
+	// would show up as a deficit. This is the fetch&add guarantee the
+	// paper says is necessary (a delayed plain write could erase work).
+	const T, alpha = 20000, 0.001
+	for _, mode := range []Mode{LockFree, CoarseLock, ShardedLock} {
+		for _, padded := range []bool{false, true} {
+			res, err := Run(Config{
+				Workers: 8, TotalIters: T, Alpha: alpha,
+				Oracle: constOracle{d: 4}, Mode: mode, Padded: padded,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := -alpha * T
+			for j, got := range res.Final {
+				if math.Abs(got-want) > 1e-6*math.Abs(want) {
+					t.Errorf("%v padded=%v: X[%d] = %v, want %v (lost updates)",
+						mode, padded, j, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestConvergesOnQuadraticAllModes(t *testing.T) {
+	q, err := grad.NewIsoQuadratic(4, 1, 0.2, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []Mode{LockFree, CoarseLock, ShardedLock} {
+		res, err := Run(Config{
+			Workers: 4, TotalIters: 3000, Alpha: 0.05,
+			Oracle: q, Seed: 3, Mode: mode,
+			X0: vec.Dense{2, -2, 2, -2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := vec.Dist2Sq(res.Final, q.Optimum())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d2 > 0.5 {
+			t.Errorf("%v: final dist² = %v", mode, d2)
+		}
+		if res.UpdatesPerSec <= 0 || res.Iters != 3000 {
+			t.Errorf("%v: result stats = %+v", mode, res)
+		}
+	}
+}
+
+func TestStalenessProbe(t *testing.T) {
+	res, err := Run(Config{
+		Workers: 8, TotalIters: 5000, Alpha: 0.001,
+		Oracle: constOracle{d: 8}, SampleStaleness: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AvgStaleness < 0 || res.MaxStaleness < 0 {
+		t.Errorf("staleness stats negative: %+v", res)
+	}
+	if float64(res.MaxStaleness) < res.AvgStaleness {
+		t.Errorf("max %d < avg %v", res.MaxStaleness, res.AvgStaleness)
+	}
+}
+
+func TestSingleWorkerMatchesSequential(t *testing.T) {
+	// One worker, LockFree: must follow the exact sequential trajectory of
+	// baseline SGD with the same stream (worker streams use Seed,id+1).
+	q, err := grad.NewIsoQuadratic(2, 1, 0.3, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		Workers: 1, TotalIters: 200, Alpha: 0.05, Oracle: q, Seed: 9,
+		X0: vec.Dense{1, 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Replay manually.
+	r := rng.NewStream(9, 1)
+	x := vec.Dense{1, 1}
+	g := vec.NewDense(2)
+	for i := 0; i < 200; i++ {
+		q.Grad(g, x, r)
+		_ = x.AddScaled(-0.05, g)
+	}
+	if !vec.ApproxEqual(res.Final, x, 1e-12) {
+		t.Errorf("single worker diverged from sequential: %v vs %v", res.Final, x)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	for m, want := range map[Mode]string{
+		LockFree: "lock-free", CoarseLock: "coarse-lock",
+		ShardedLock: "sharded-lock", Mode(9): "Mode(9)",
+	} {
+		if got := m.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", m, got, want)
+		}
+	}
+}

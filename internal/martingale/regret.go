@@ -1,0 +1,46 @@
+package martingale
+
+import (
+	"math"
+
+	"asyncsgd/internal/grad"
+)
+
+// Classic regret-style SGD bounds (the analysis style the paper contrasts
+// its martingale approach with in Section 3: "classic approaches ... bound
+// the distance between the expected value of f at the average of the
+// currently generated iterates and the optimal value", e.g. Bubeck,
+// Theorem 6.3). These are implemented for the E14 comparison experiment.
+
+// RegretAvgIterateBound is the standard constant-step convex SGD bound on
+// the average iterate x̄_T = (1/T)Σx_t:
+//
+//	E[f(x̄_T)] − f* ≤ ‖x₀ − x*‖²/(2αT) + α·M²/2.
+func RegretAvgIterateBound(cst grad.Constants, alpha float64, T int, x0DistSq float64) float64 {
+	return x0DistSq/(2*alpha*float64(T)) + alpha*cst.M2/2
+}
+
+// RegretOptimalAlpha is the step size minimizing RegretAvgIterateBound for
+// a fixed horizon T: α = ‖x₀−x*‖/(M·√T).
+func RegretOptimalAlpha(cst grad.Constants, T int, x0DistSq float64) float64 {
+	if cst.M2 <= 0 || T <= 0 {
+		return 0
+	}
+	return math.Sqrt(x0DistSq) / math.Sqrt(cst.M2*float64(T))
+}
+
+// StronglyConvexLastIterateBound is the classic distance recursion for
+// c-strongly-convex objectives: unrolling
+// E‖x_{t+1}−x*‖² ≤ (1−2αc)·E‖x_t−x*‖² + α²M² gives
+//
+//	E‖x_T − x*‖² ≤ (1−2αc)^T·‖x₀−x*‖² + α·M²/(2c).
+//
+// This is the steady-state-plus-transient decomposition the experiments
+// use to sanity-check the hitting-time view.
+func StronglyConvexLastIterateBound(cst grad.Constants, alpha float64, T int, x0DistSq float64) float64 {
+	rho := 1 - 2*alpha*cst.C
+	if rho < 0 {
+		rho = 0
+	}
+	return math.Pow(rho, float64(T))*x0DistSq + alpha*cst.M2/(2*cst.C)
+}

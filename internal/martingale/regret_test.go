@@ -1,0 +1,105 @@
+package martingale
+
+import (
+	"math"
+	"testing"
+
+	"asyncsgd/internal/baseline"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/mathx"
+	"asyncsgd/internal/vec"
+)
+
+func TestRegretOptimalAlphaMinimizes(t *testing.T) {
+	cst := grad.Constants{C: 1, L: 1, M2: 4}
+	const T, d2 = 1000, 2.25
+	opt := RegretOptimalAlpha(cst, T, d2)
+	bOpt := RegretAvgIterateBound(cst, opt, T, d2)
+	for _, f := range []float64{0.5, 0.9, 1.1, 2} {
+		if b := RegretAvgIterateBound(cst, opt*f, T, d2); b < bOpt-1e-12 {
+			t.Errorf("α·%v gives bound %v below optimum %v", f, b, bOpt)
+		}
+	}
+	if RegretOptimalAlpha(cst, 0, d2) != 0 {
+		t.Error("T=0 should give α=0")
+	}
+	if RegretOptimalAlpha(grad.Constants{}, 5, d2) != 0 {
+		t.Error("M²=0 should give α=0")
+	}
+}
+
+// The regret bound must dominate the measured average-iterate
+// suboptimality of sequential SGD.
+func TestRegretBoundDominatesMeasured(t *testing.T) {
+	q, err := grad.NewIsoQuadratic(2, 1, 0.6, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cst := q.Constants()
+	x0 := vec.Dense{1, 1}
+	const T = 300
+	alpha := RegretOptimalAlpha(cst, T, 2)
+	var w mathx.Welford
+	const trials = 60
+	for k := 0; k < trials; k++ {
+		res, err := baseline.RunSequential(baseline.SeqConfig{
+			Oracle: q, X0: x0, Alpha: alpha, Iters: T,
+			Seed: 300 + uint64(k), TrackDist: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Average iterate suboptimality: f(x̄) − f*. For the isotropic
+		// quadratic f − f* = (c/2)·dist², and by convexity
+		// f(x̄) − f* ≤ mean over t of (c/2)·dist²_t; use the convexity
+		// upper bound as the measured proxy (still must be ≤ the bound).
+		var mean float64
+		for _, d2 := range res.DistSq {
+			mean += 0.5 * d2
+		}
+		w.Add(mean / float64(len(res.DistSq)))
+	}
+	bound := RegretAvgIterateBound(cst, alpha, T, 2)
+	if w.Mean() > bound {
+		t.Errorf("measured avg suboptimality %v exceeds regret bound %v", w.Mean(), bound)
+	}
+}
+
+func TestStronglyConvexLastIterateBound(t *testing.T) {
+	cst := grad.Constants{C: 1, L: 1, M2: 4}
+	// Transient decays; steady state αM²/2c remains.
+	b1 := StronglyConvexLastIterateBound(cst, 0.05, 10, 4)
+	b2 := StronglyConvexLastIterateBound(cst, 0.05, 1000, 4)
+	if b2 >= b1 {
+		t.Errorf("bound not decreasing in T: %v -> %v", b1, b2)
+	}
+	steady := 0.05 * 4 / 2
+	if math.Abs(b2-steady) > 1e-6 {
+		t.Errorf("long-run bound %v, want steady state %v", b2, steady)
+	}
+	// Oversized α clamps the contraction factor at 0.
+	b := StronglyConvexLastIterateBound(cst, 10, 5, 4)
+	if b != 10*4/2.0 {
+		t.Errorf("clamped bound = %v", b)
+	}
+	// And it must dominate reality.
+	q, err := grad.NewIsoQuadratic(2, 1, 0.6, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w mathx.Welford
+	for k := 0; k < 60; k++ {
+		res, err := baseline.RunSequential(baseline.SeqConfig{
+			Oracle: q, X0: vec.Dense{1, 1}, Alpha: 0.05, Iters: 200,
+			Seed: 500 + uint64(k), TrackDist: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Add(res.DistSq[len(res.DistSq)-1])
+	}
+	bound := StronglyConvexLastIterateBound(q.Constants(), 0.05, 200, 2)
+	if w.Mean() > bound {
+		t.Errorf("measured E dist² %v exceeds bound %v", w.Mean(), bound)
+	}
+}

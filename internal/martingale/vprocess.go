@@ -1,0 +1,59 @@
+package martingale
+
+import (
+	"math"
+)
+
+// VSeries builds the asynchrony-corrected process V_t from the proof of
+// Theorem 6.5 along one measured lock-free trajectory:
+//
+//	V_t = W_t(x_t) − α²HLMC√d·t
+//	      + αHL√d Σ_{k=1}^{t} ‖x_{t−k+1} − x_{t−k}‖ · Σ_{m=k}^{∞} 1{τ_{t−k+m} ≥ m}
+//
+// where ‖x_{j+1} − x_j‖ = α‖g̃_{j+1}‖ and τ is the measured per-iteration
+// view staleness. The theorem's proof shows V is a supermartingale for
+// the lock-free process whenever W is one for the sequential process;
+// CheckSupermartingale over many VSeries trajectories validates the
+// reconstruction empirically (see TestVProcessSupermartingale).
+//
+// Inputs, all in the paper's total order: distSq[t] = ‖x_t − x*‖² for
+// t = 0..T, gradNorms[t] = ‖g̃_{t+1}‖ for t = 0..T−1, taus[t] = τ_{t+1}.
+// C is the Lemma-6.4 constant 2√(τmax·n) used in the drift term, d the
+// dimension. The trajectory is truncated at the first success (V freezes
+// there, contributing nothing further to the check).
+func VSeries(w Witness, distSq, gradNorms []float64, taus []int, c float64, d int) []float64 {
+	T := len(gradNorms)
+	if len(distSq) < T+1 || len(taus) < T {
+		return nil
+	}
+	drift := w.Alpha * w.Alpha * w.H() * w.Cst.L * math.Sqrt(w.Cst.M2) * c * math.Sqrt(float64(d))
+	coef := w.Alpha * w.H() * w.Cst.L * math.Sqrt(float64(d))
+
+	// indicatorSum[j][k] would be Σ_{m=k}^{∞} 1{τ_{j+m} ≥ m}; computed on
+	// demand with the run horizon as the truncation (exact for
+	// trajectories that end before T − τmax).
+	indSum := func(j, k int) float64 {
+		s := 0.0
+		for m := k; j+m-1 < T; m++ {
+			if taus[j+m-1] >= m {
+				s++
+			}
+		}
+		return s
+	}
+
+	out := make([]float64, 0, T+1)
+	for t := 0; t <= T; t++ {
+		if distSq[t] <= w.Eps {
+			break // success: V freezes; stop the trajectory here
+		}
+		v := w.Value(t, distSq[t]) - drift*float64(t)
+		for k := 1; k <= t; k++ {
+			// ‖x_{t−k+1} − x_{t−k}‖ = α‖g̃‖ of ordered iteration t−k+1.
+			delta := w.Alpha * gradNorms[t-k]
+			v += coef * delta * indSum(t-k, k)
+		}
+		out = append(out, v)
+	}
+	return out
+}

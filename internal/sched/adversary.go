@@ -1,0 +1,189 @@
+package sched
+
+import (
+	"asyncsgd/internal/contention"
+	"asyncsgd/internal/shm"
+)
+
+// StaleGradient is the Section-5 adversary behind the paper's Ω(τ) lower
+// bound (Theorem 5.1). With two threads it realizes exactly the strategy
+// from the paper's analysis:
+//
+//  1. let the victim read the initial model and compute its gradient (its
+//     pending operation becomes the first model update of the target
+//     iteration — the adversary, being strong, can see this);
+//  2. freeze the victim and let the other thread(s) execute DelayIters full
+//     SGD iterations;
+//  3. release the victim, which now merges a gradient computed DelayIters
+//     iterations ago, wiping out part of the progress.
+//
+// After the stale update is applied the policy degenerates to round-robin.
+type StaleGradient struct {
+	Victim     int // thread whose gradient is delayed
+	DelayIters int // full iterations by other threads while frozen
+
+	// HoldRole selects the pending-operation role at which the victim is
+	// frozen. The default (RoleUpdate) freezes between gradient
+	// generation and application — the strongest point, which also
+	// defeats staleness-aware step scaling because the victim's staleness
+	// probe (RoleProbe) has already executed. Setting RoleProbe freezes
+	// before the probe, modeling an oblivious delay that staleness-aware
+	// algorithms can detect and damp (the §8 / related-work discussion).
+	HoldRole contention.Role
+
+	phase     int // 0 advance victim, 1 delay, 2 release, 3 after
+	completed int // other-thread iterations completed during phase 1
+	rr        RoundRobin
+}
+
+var _ shm.Policy = (*StaleGradient)(nil)
+
+func (p *StaleGradient) holdRole() contention.Role {
+	if p.HoldRole == 0 {
+		return contention.RoleUpdate
+	}
+	return p.HoldRole
+}
+
+// Next implements shm.Policy.
+func (p *StaleGradient) Next(v *shm.View) shm.Decision {
+	if !v.Live(p.Victim) && p.phase < 3 {
+		p.phase = 3
+	}
+	switch p.phase {
+	case 0: // run the victim until it is about to perform the held op
+		if tg, ok := tagOf(v, p.Victim); ok && tg.Role == p.holdRole() {
+			p.phase = 1
+			return p.Next(v)
+		}
+		return shm.Decision{Thread: p.Victim}
+	case 1: // interpose DelayIters full iterations by other threads
+		if p.completed >= p.DelayIters {
+			p.phase = 2
+			return p.Next(v)
+		}
+		tid := p.otherLive(v)
+		if tid < 0 { // nobody else can run; release the victim
+			p.phase = 2
+			return p.Next(v)
+		}
+		if tg, ok := tagOf(v, tid); ok &&
+			tg.Role == contention.RoleUpdate && tg.Last {
+			p.completed++
+		}
+		return shm.Decision{Thread: tid}
+	case 2: // flush the victim's stale iteration
+		tg, ok := tagOf(v, p.Victim)
+		if ok && tg.Role == contention.RoleUpdate && tg.Last {
+			p.phase = 3
+		}
+		return shm.Decision{Thread: p.Victim}
+	default:
+		return p.rr.Next(v)
+	}
+}
+
+// otherLive returns a live non-victim thread (round-robin), or -1.
+func (p *StaleGradient) otherLive(v *shm.View) int {
+	n := v.NumThreads()
+	for k := 1; k <= n; k++ {
+		i := (p.rr.last + k) % n
+		if i != p.Victim && v.Live(i) {
+			p.rr.last = i
+			return i
+		}
+	}
+	return -1
+}
+
+// MaxStale is a generic adaptive adversary operating under an interval-
+// contention budget: it repeatedly picks a victim thread, freezes the
+// victim right before its first model update, lets the remaining threads
+// start up to Budget fresh iterations, then releases the victim — and
+// rotates to the next victim. This produces executions whose measured τmax
+// is ≈ Budget + n while keeping every thread live, i.e. the worst-case
+// regime of Theorem 6.5 / Corollary 6.7.
+type MaxStale struct {
+	Budget int // other-iteration starts to interpose per held iteration
+
+	victim int
+	phase  int // 0 advance victim, 1 delay, 2 release
+	starts int // other-thread iteration starts during current hold
+	rr     RoundRobin
+}
+
+var _ shm.Policy = (*MaxStale)(nil)
+
+// Next implements shm.Policy.
+func (p *MaxStale) Next(v *shm.View) shm.Decision {
+	n := v.NumThreads()
+	if n == 1 {
+		return p.rr.Next(v)
+	}
+	// Rotate to a live victim if the current one finished or crashed.
+	if !v.Live(p.victim) {
+		if !p.rotate(v) {
+			return p.rr.Next(v)
+		}
+	}
+	switch p.phase {
+	case 0:
+		if tg, ok := tagOf(v, p.victim); ok && tg.Role == contention.RoleUpdate {
+			p.phase, p.starts = 1, 0
+			return p.Next(v)
+		}
+		return shm.Decision{Thread: p.victim}
+	case 1:
+		if p.starts >= p.Budget {
+			p.phase = 2
+			return p.Next(v)
+		}
+		tid := p.otherLive(v)
+		if tid < 0 {
+			p.phase = 2
+			return p.Next(v)
+		}
+		if tg, ok := tagOf(v, tid); ok && tg.Role == contention.RoleCounter {
+			p.starts++
+		}
+		return shm.Decision{Thread: tid}
+	default: // release
+		tg, ok := tagOf(v, p.victim)
+		if ok && tg.Role == contention.RoleUpdate && tg.Last {
+			cur := p.victim
+			p.rotate(v)
+			p.phase = 0
+			return shm.Decision{Thread: cur}
+		}
+		if !ok {
+			// Victim has no pending op classification; just step it.
+			return shm.Decision{Thread: p.victim}
+		}
+		return shm.Decision{Thread: p.victim}
+	}
+}
+
+func (p *MaxStale) rotate(v *shm.View) bool {
+	n := v.NumThreads()
+	for k := 1; k <= n; k++ {
+		i := (p.victim + k) % n
+		if v.Live(i) {
+			p.victim = i
+			p.phase = 0
+			return true
+		}
+	}
+	return false
+}
+
+func (p *MaxStale) otherLive(v *shm.View) int {
+	n := v.NumThreads()
+	for k := 1; k <= n; k++ {
+		i := (p.rr.last + k) % n
+		if i != p.victim && v.Live(i) {
+			p.rr.last = i
+			return i
+		}
+	}
+	return -1
+}

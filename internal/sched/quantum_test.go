@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"testing"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/shm"
+)
+
+func TestQuantumRunsInBursts(t *testing.T) {
+	pol := &Quantum{Q: 5}
+	m, stats := runWith(t, pol, counterBody(0, 20), counterBody(1, 20))
+	if stats.Completed != 2 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	tr := m.Trace()
+	// While both threads are live, context switches happen only at
+	// quantum boundaries: count switches in the first 60 steps; with Q=5
+	// there should be ≈12, not ≈59.
+	switches := 0
+	for i := 1; i < 60 && i < len(tr); i++ {
+		if tr[i].Thread != tr[i-1].Thread {
+			switches++
+		}
+	}
+	if switches > 15 {
+		t.Errorf("%d switches in 60 steps with Q=5, want ≈12", switches)
+	}
+	if switches == 0 {
+		t.Error("no context switches at all")
+	}
+}
+
+func TestQuantumRandomizedCompletesAll(t *testing.T) {
+	pol := &Quantum{Q: 7, R: rng.New(3)}
+	_, stats := runWith(t, pol, counterBody(0, 25), counterBody(1, 25), counterBody(2, 25))
+	if stats.Completed != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestQuantumZeroQTreatedAsOne(t *testing.T) {
+	pol := &Quantum{Q: 0}
+	_, stats := runWith(t, pol, counterBody(0, 5), counterBody(1, 5))
+	if stats.Completed != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestQuantumSurvivesThreadExit(t *testing.T) {
+	// One thread finishes early; the quantum holder must hand over.
+	pol := &Quantum{Q: 50}
+	_, stats := runWith(t, pol, counterBody(0, 2), counterBody(1, 30))
+	if stats.Completed != 2 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+var _ shm.Policy = (*Quantum)(nil)

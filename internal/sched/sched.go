@@ -1,0 +1,171 @@
+// Package sched provides scheduling policies for the shm machine, from
+// benign baselines (round-robin, uniform random, stochastic delays) to the
+// adaptive adversaries the paper analyzes: the Section-5 stale-gradient
+// adversary behind the Ω(τ) lower bound, and a generic maximum-staleness
+// adversary operating under an interval-contention budget τmax (the regime
+// of the Section-6 upper bounds).
+//
+// Adversaries identify the role of pending operations through the
+// contention.Tag annotations attached by the SGD thread programs; this is
+// consistent with the paper's strong adversary, which observes the
+// algorithm's state and coin flips.
+package sched
+
+import (
+	"asyncsgd/internal/contention"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/shm"
+)
+
+// RoundRobin schedules live threads cyclically. It is the maximally fair
+// baseline: staleness stays O(n).
+type RoundRobin struct {
+	last int
+}
+
+var _ shm.Policy = (*RoundRobin)(nil)
+
+// Next implements shm.Policy.
+func (p *RoundRobin) Next(v *shm.View) shm.Decision {
+	n := v.NumThreads()
+	for k := 1; k <= n; k++ {
+		i := (p.last + k) % n
+		if v.Live(i) {
+			p.last = i
+			return shm.Decision{Thread: i}
+		}
+	}
+	return shm.Decision{Thread: -1}
+}
+
+// Random schedules a uniformly random live thread each step. This is the
+// oblivious stochastic scheduler assumed by much of the prior Hogwild
+// analysis (e.g. De Sa et al.).
+type Random struct {
+	R *rng.Rand
+}
+
+var _ shm.Policy = (*Random)(nil)
+
+// Next implements shm.Policy.
+func (p *Random) Next(v *shm.View) shm.Decision {
+	n := v.NumThreads()
+	live := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if v.Live(i) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return shm.Decision{Thread: -1}
+	}
+	return shm.Decision{Thread: live[p.R.Intn(len(live))]}
+}
+
+// GeometricPause schedules uniformly at random among unpaused live
+// threads, and after every step pauses the stepped thread with probability
+// PauseProb for a Geometric(Resume)-distributed number of steps. This
+// models stochastic OS-style delays with geometric tails (the delay model
+// of several prior works) without an adaptive adversary.
+type GeometricPause struct {
+	R         *rng.Rand
+	PauseProb float64 // probability a thread is paused after a step
+	Resume    float64 // geometric resume parameter in (0,1]
+
+	pausedUntil []int
+}
+
+var _ shm.Policy = (*GeometricPause)(nil)
+
+// Next implements shm.Policy.
+func (p *GeometricPause) Next(v *shm.View) shm.Decision {
+	n := v.NumThreads()
+	if p.pausedUntil == nil {
+		p.pausedUntil = make([]int, n)
+	}
+	now := v.Time()
+	avail := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if v.Live(i) && p.pausedUntil[i] <= now {
+			avail = append(avail, i)
+		}
+	}
+	if len(avail) == 0 {
+		// All live threads paused: wake the one with the earliest resume
+		// time (time only advances on steps, so waiting is meaningless).
+		best := -1
+		for i := 0; i < n; i++ {
+			if v.Live(i) && (best == -1 || p.pausedUntil[i] < p.pausedUntil[best]) {
+				best = i
+			}
+		}
+		if best == -1 {
+			return shm.Decision{Thread: -1}
+		}
+		p.pausedUntil[best] = now
+		avail = append(avail, best)
+	}
+	tid := avail[p.R.Intn(len(avail))]
+	if p.R.Bernoulli(p.PauseProb) {
+		p.pausedUntil[tid] = now + 1 + p.R.Geometric(p.Resume)
+	}
+	return shm.Decision{Thread: tid}
+}
+
+// CrashAt wraps an inner policy and crashes the given threads at the given
+// machine times (thread id -> time). The adversary may crash at most n−1
+// threads; excess crash requests are rejected by the machine.
+type CrashAt struct {
+	Inner shm.Policy
+	Times map[int]int
+
+	fired map[int]bool
+}
+
+var _ shm.Policy = (*CrashAt)(nil)
+
+// Next implements shm.Policy.
+func (p *CrashAt) Next(v *shm.View) shm.Decision {
+	if p.fired == nil {
+		p.fired = make(map[int]bool, len(p.Times))
+	}
+	var crash []int
+	for tid, at := range p.Times {
+		if !p.fired[tid] && v.Time() >= at {
+			p.fired[tid] = true
+			crash = append(crash, tid)
+		}
+	}
+	d := p.Inner.Next(v)
+	for _, c := range crash {
+		if d.Thread == c {
+			// Re-pick a live thread other than the ones being crashed.
+			d.Thread = pickOther(v, crash)
+		}
+	}
+	d.Crash = append(d.Crash, crash...)
+	return d
+}
+
+func pickOther(v *shm.View, exclude []int) int {
+	ex := make(map[int]bool, len(exclude))
+	for _, e := range exclude {
+		ex[e] = true
+	}
+	for i := 0; i < v.NumThreads(); i++ {
+		if v.Live(i) && !ex[i] {
+			return i
+		}
+	}
+	return -1
+}
+
+// tagOf extracts the contention tag of thread i's pending op, if any.
+func tagOf(v *shm.View, i int) (contention.Tag, bool) {
+	req, ok := v.Pending(i)
+	if !ok {
+		return contention.Tag{}, false
+	}
+	tg, ok := req.Tag.(contention.Tag)
+	return tg, ok
+}

@@ -1,0 +1,65 @@
+package shm
+
+import (
+	"fmt"
+)
+
+// CheckTrace validates a recorded execution trace against the sequential
+// consistency semantics of the register model: replaying the operations in
+// trace order from initMem, every operation's recorded result (read value,
+// fetch&add prior, CAS prior/outcome) must match the replay, times must be
+// strictly increasing, and addresses must be in range.
+//
+// It returns nil if the trace is consistent, or an error describing the
+// first violation. The machine produces consistent traces by construction;
+// the checker exists so that tests and experiments can assert the property
+// end-to-end (and so alternative Policy/Program implementations can be
+// validated against the model).
+func CheckTrace(trace []Step, memSize int, initMem []float64) error {
+	mem := make([]float64, memSize)
+	copy(mem, initMem)
+	prevTime := 0
+	for i, s := range trace {
+		if s.Time <= prevTime {
+			return fmt.Errorf("step %d: time %d not increasing (prev %d)", i, s.Time, prevTime)
+		}
+		prevTime = s.Time
+		if s.Req.Addr < 0 || s.Req.Addr >= memSize {
+			return fmt.Errorf("step %d: address %d out of range", i, s.Req.Addr)
+		}
+		old := mem[s.Req.Addr]
+		switch s.Req.Kind {
+		case OpRead:
+			if s.Res.Valid && s.Res.Val != old {
+				return fmt.Errorf("step %d: thread %d read %v from %d, replay has %v",
+					i, s.Thread, s.Res.Val, s.Req.Addr, old)
+			}
+		case OpWrite:
+			if s.Res.Valid && s.Res.Val != old {
+				return fmt.Errorf("step %d: write prior %v, replay has %v", i, s.Res.Val, old)
+			}
+			mem[s.Req.Addr] = s.Req.Val
+		case OpFAA:
+			if s.Res.Valid && s.Res.Val != old {
+				return fmt.Errorf("step %d: fetch&add prior %v, replay has %v", i, s.Res.Val, old)
+			}
+			mem[s.Req.Addr] = old + s.Req.Val
+		case OpCAS:
+			if s.Res.Valid {
+				if s.Res.Val != old {
+					return fmt.Errorf("step %d: CAS prior %v, replay has %v", i, s.Res.Val, old)
+				}
+				if s.Res.OK != (old == s.Req.Exp) {
+					return fmt.Errorf("step %d: CAS outcome %v inconsistent (old %v, exp %v)",
+						i, s.Res.OK, old, s.Req.Exp)
+				}
+			}
+			if old == s.Req.Exp {
+				mem[s.Req.Addr] = s.Req.Val
+			}
+		default:
+			return fmt.Errorf("step %d: unknown op kind %d", i, s.Req.Kind)
+		}
+	}
+	return nil
+}

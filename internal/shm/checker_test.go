@@ -1,0 +1,96 @@
+package shm
+
+import (
+	"strings"
+	"testing"
+
+	"asyncsgd/internal/rng"
+)
+
+func tracedRun(t *testing.T, seed uint64) (*Machine, []Step) {
+	t.Helper()
+	mk := func() Program {
+		return Func(func(th *T) {
+			for k := 0; k < 15; k++ {
+				th.FAA(0, 1)
+				th.Read(1)
+				th.Write(1, float64(k))
+				th.CAS(2, 0, 1)
+			}
+		})
+	}
+	m, err := New(Config{MemSize: 3, Trace: true},
+		&randPolicy{r: rng.New(seed)}, mk(), mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return m, m.Trace()
+}
+
+func TestCheckTraceAcceptsMachineTraces(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		_, trace := tracedRun(t, seed)
+		if err := CheckTrace(trace, 3, nil); err != nil {
+			t.Fatalf("seed %d: machine trace rejected: %v", seed, err)
+		}
+	}
+}
+
+func TestCheckTraceDetectsCorruption(t *testing.T) {
+	_, trace := tracedRun(t, 1)
+	corrupt := func(mut func([]Step)) error {
+		cp := make([]Step, len(trace))
+		copy(cp, trace)
+		mut(cp)
+		return CheckTrace(cp, 3, nil)
+	}
+	cases := map[string]func([]Step){
+		"read value":   func(tr []Step) { forFirst(tr, OpRead, func(s *Step) { s.Res.Val += 99 }) },
+		"faa prior":    func(tr []Step) { forFirst(tr, OpFAA, func(s *Step) { s.Res.Val += 1 }) },
+		"cas outcome":  func(tr []Step) { forFirst(tr, OpCAS, func(s *Step) { s.Res.OK = !s.Res.OK }) },
+		"time order":   func(tr []Step) { tr[3].Time = tr[2].Time },
+		"address":      func(tr []Step) { tr[0].Req.Addr = 99 },
+		"unknown kind": func(tr []Step) { tr[0].Req.Kind = OpKind(77) },
+	}
+	for name, mut := range cases {
+		if err := corrupt(mut); err == nil {
+			t.Errorf("%s corruption not detected", name)
+		}
+	}
+}
+
+func TestCheckTraceInitMem(t *testing.T) {
+	var got float64
+	prog := Func(func(th *T) { got = th.Read(0) })
+	m, err := New(Config{MemSize: 1, InitMem: []float64{7}, Trace: true},
+		&randPolicy{r: rng.New(3)}, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got != 7 {
+		t.Fatalf("read %v", got)
+	}
+	if err := CheckTrace(m.Trace(), 1, []float64{7}); err != nil {
+		t.Errorf("trace with init mem rejected: %v", err)
+	}
+	// Wrong init memory must be detected through the read value.
+	if err := CheckTrace(m.Trace(), 1, []float64{0}); err == nil ||
+		!strings.Contains(err.Error(), "read") {
+		t.Errorf("wrong init mem not detected: %v", err)
+	}
+}
+
+func forFirst(tr []Step, kind OpKind, mut func(*Step)) {
+	for i := range tr {
+		if tr[i].Req.Kind == kind {
+			mut(&tr[i])
+			return
+		}
+	}
+}

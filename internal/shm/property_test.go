@@ -1,0 +1,165 @@
+package shm
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asyncsgd/internal/rng"
+)
+
+// randPolicy schedules a uniformly random live thread, deterministic in
+// its seed — the property tests quantify over schedules through it.
+type randPolicy struct{ r *rng.Rand }
+
+func (p *randPolicy) Next(v *View) Decision {
+	n := v.NumThreads()
+	live := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if v.Live(i) {
+			live = append(live, i)
+		}
+	}
+	if len(live) == 0 {
+		return Decision{Thread: -1}
+	}
+	return Decision{Thread: live[p.r.Intn(len(live))]}
+}
+
+// Property: fetch&add conservation — under ANY schedule, the final value
+// of each register equals its initial value plus the sum of all deltas,
+// and the counter hands out every value 0..total-1 exactly once.
+func TestPropertyFAAConservationAnySchedule(t *testing.T) {
+	f := func(seed uint64, nThreads, perThread uint8) bool {
+		n := int(nThreads%4) + 1
+		per := int(perThread%20) + 1
+		priors := make(map[float64]int)
+		progs := make([]Program, n)
+		for i := 0; i < n; i++ {
+			progs[i] = Func(func(th *T) {
+				for k := 0; k < per; k++ {
+					old := th.FAA(0, 1)
+					priors[old]++ // machine is sequential: safe
+					th.FAA(1, 0.5)
+				}
+			})
+		}
+		m, err := New(Config{MemSize: 2}, &randPolicy{r: rng.New(seed)}, progs...)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		total := n * per
+		if m.Mem()[0] != float64(total) || m.Mem()[1] != 0.5*float64(total) {
+			return false
+		}
+		for k := 0; k < total; k++ {
+			if priors[float64(k)] != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: reads always return a value some prefix of writes could have
+// produced — for a register written with strictly increasing values by one
+// writer, readers observe a monotone sequence (sequential consistency of
+// single-writer registers).
+func TestPropertySingleWriterMonotoneReads(t *testing.T) {
+	f := func(seed uint64) bool {
+		const writes = 30
+		writer := Func(func(th *T) {
+			for k := 1; k <= writes; k++ {
+				th.Write(0, float64(k))
+			}
+		})
+		ok := true
+		reader := Func(func(th *T) {
+			prev := -1.0
+			for k := 0; k < writes; k++ {
+				got := th.Read(0)
+				if got < prev {
+					ok = false
+				}
+				prev = got
+			}
+		})
+		m, err := New(Config{MemSize: 1}, &randPolicy{r: rng.New(seed)}, writer, reader)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: CAS mutual exclusion — concurrent CAS-based lock acquisition
+// admits exactly one winner per round under any schedule.
+func TestPropertyCASMutex(t *testing.T) {
+	f := func(seed uint64, nThreads uint8) bool {
+		n := int(nThreads%5) + 2
+		winners := 0
+		progs := make([]Program, n)
+		for i := 0; i < n; i++ {
+			progs[i] = Func(func(th *T) {
+				if _, ok := th.CAS(0, 0, 1); ok {
+					winners++ // sequential machine: safe
+				}
+			})
+		}
+		m, err := New(Config{MemSize: 1}, &randPolicy{r: rng.New(seed)}, progs...)
+		if err != nil {
+			return false
+		}
+		if _, err := m.Run(); err != nil {
+			return false
+		}
+		return winners == 1 && m.Mem()[0] == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the machine always terminates within the step budget implied
+// by the programs (no livelock), and Completed+Crashed+Stalled == threads.
+func TestPropertyStatsAccounting(t *testing.T) {
+	f := func(seed uint64, nThreads uint8, maxSteps uint16) bool {
+		n := int(nThreads%4) + 1
+		cap := int(maxSteps%200) + 1
+		progs := make([]Program, n)
+		for i := 0; i < n; i++ {
+			progs[i] = Func(func(th *T) {
+				for k := 0; k < 50; k++ {
+					th.FAA(0, 1)
+				}
+			})
+		}
+		m, err := New(Config{MemSize: 1, MaxSteps: cap},
+			&randPolicy{r: rng.New(seed)}, progs...)
+		if err != nil {
+			return false
+		}
+		stats, err := m.Run()
+		if err != nil {
+			return false
+		}
+		if stats.Steps > cap {
+			return false
+		}
+		return stats.Completed+stats.Crashed+stats.Stalled == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,380 @@
+// Package shm implements the asynchronous shared-memory model of the
+// paper (Section 2): n threads communicate through atomic registers
+// supporting read, write, fetch&add and compare&swap; the interleaving of
+// their shared-memory steps is chosen by an adversarial scheduler; time is
+// measured in scheduled shared-memory steps; the adversary may crash up to
+// n−1 threads; memory is sequentially consistent.
+//
+// The machine is a deterministic discrete-event simulator. Each thread is a
+// Program — a resumable coroutine that, when granted a step, consumes the
+// result of its previous operation and issues the next one. The scheduling
+// Policy sees every pending operation including its operands and tags
+// (hence the threads' local coin flips, making it the paper's *strong
+// adaptive* adversary) and full memory contents, and picks which pending
+// operation executes next. Local computation between shared-memory
+// operations is free, exactly as in the model.
+//
+// For ergonomic thread bodies, Func adapts an ordinary function using
+// blocking operation calls into a Program (see funcprog.go).
+package shm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// OpKind enumerates the atomic register operations of the model.
+type OpKind uint8
+
+// Supported atomic operations. The paper's Algorithm 1 needs only OpRead
+// and OpFAA; OpWrite and OpCAS are provided for baselines and tests.
+const (
+	OpRead OpKind = iota + 1
+	OpWrite
+	OpFAA
+	OpCAS
+)
+
+// String returns the conventional name of the operation.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpFAA:
+		return "fetch&add"
+	case OpCAS:
+		return "compare&swap"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Request is one pending shared-memory operation issued by a thread.
+type Request struct {
+	Kind OpKind
+	Addr int     // register index
+	Val  float64 // write value / fetch&add delta / CAS new value
+	Exp  float64 // CAS expected value
+	Tag  any     // caller annotation, visible to the scheduling policy
+}
+
+// Result is the outcome of an executed operation, delivered to the issuing
+// thread at its next step grant.
+type Result struct {
+	Valid bool    // false only for the synthetic "result" before a thread's first op
+	Val   float64 // read value; prior value for write/FAA/CAS
+	OK    bool    // CAS success indicator
+	Time  int     // machine time (step index, 1-based) at which the op executed
+}
+
+// Step records one executed operation for tracing and analysis.
+type Step struct {
+	Time   int // 1-based step index
+	Thread int
+	Req    Request
+	Res    Result
+}
+
+// Program is a resumable thread. Next receives the Result of the thread's
+// previously executed operation (Valid=false on the first call) and returns
+// the next operation to issue, or done=true when the thread terminates.
+// Implementations must be deterministic given their inputs; any randomness
+// must come from a seeded generator owned by the program.
+type Program interface {
+	Next(prev Result) (req Request, done bool)
+}
+
+// Stopper is implemented by Programs that own background resources (the
+// Func adapter's goroutine). The machine calls Stop on every program that
+// implements it when Run returns.
+type Stopper interface {
+	Stop()
+}
+
+// View is the scheduler's complete observation of the machine: the current
+// time, every pending request with operands and tags, thread liveness, and
+// the full memory contents. This is the strong adaptive adversary of the
+// paper: nothing is hidden from it.
+type View struct {
+	m *Machine
+}
+
+// Time returns the number of shared-memory steps executed so far.
+func (v *View) Time() int { return v.m.steps }
+
+// NumThreads returns the number of threads in the machine.
+func (v *View) NumThreads() int { return len(v.m.progs) }
+
+// Pending returns thread i's pending request. ok is false if the thread has
+// terminated or crashed.
+func (v *View) Pending(i int) (Request, bool) {
+	if v.m.done[i] || v.m.crashed[i] {
+		return Request{}, false
+	}
+	return v.m.pending[i], true
+}
+
+// Done reports whether thread i has terminated normally.
+func (v *View) Done(i int) bool { return v.m.done[i] }
+
+// Crashed reports whether thread i has been crashed by the adversary.
+func (v *View) Crashed(i int) bool { return v.m.crashed[i] }
+
+// Live reports whether thread i is schedulable (not done, not crashed).
+func (v *View) Live(i int) bool { return !v.m.done[i] && !v.m.crashed[i] }
+
+// LiveCount returns the number of schedulable threads.
+func (v *View) LiveCount() int {
+	c := 0
+	for i := range v.m.progs {
+		if v.Live(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// Load lets the adversary inspect register addr.
+func (v *View) Load(addr int) float64 { return v.m.mem[addr] }
+
+// MemSize returns the number of registers.
+func (v *View) MemSize() int { return len(v.m.mem) }
+
+// Decision is a Policy's scheduling choice: execute thread Thread's pending
+// operation, after crashing the listed threads. Crashing all live threads
+// (leaving Thread invalid) halts the run; otherwise Thread must identify a
+// live, pending thread.
+type Decision struct {
+	Thread int
+	Crash  []int
+}
+
+// Policy chooses the next step. Implementations receive a View valid only
+// for the duration of the call.
+type Policy interface {
+	Next(v *View) Decision
+}
+
+// Config parameterizes a Machine.
+type Config struct {
+	MemSize  int        // number of registers, all initially 0
+	MaxSteps int        // stop after this many steps (0 = unlimited)
+	OnStep   func(Step) // streaming step hook (contention tracker etc.)
+	Trace    bool       // record the full step log (memory-heavy)
+	InitMem  []float64  // optional initial register contents
+}
+
+// RunStats summarizes a completed run.
+type RunStats struct {
+	Steps     int
+	Completed int // threads that terminated normally
+	Crashed   int // threads crashed by the adversary
+	Stalled   int // live threads still pending when the run stopped (MaxSteps)
+}
+
+// Machine is one simulated shared-memory execution. Create with New, drive
+// with Run. A Machine is single-use and not safe for concurrent use.
+type Machine struct {
+	cfg     Config
+	policy  Policy
+	progs   []Program
+	mem     []float64
+	pending []Request
+	done    []bool
+	crashed []bool
+	steps   int
+	trace   []Step
+	ran     bool
+}
+
+// Validation errors returned by Run.
+var (
+	ErrBadThread   = errors.New("shm: policy chose an unschedulable thread")
+	ErrBadAddress  = errors.New("shm: operation address out of range")
+	ErrNoThreads   = errors.New("shm: machine has no programs")
+	ErrAlreadyRan  = errors.New("shm: machine already ran")
+	ErrTooManyDead = errors.New("shm: adversary may crash at most n-1 threads")
+)
+
+// New builds a machine over cfg with the given policy and thread programs.
+func New(cfg Config, policy Policy, progs ...Program) (*Machine, error) {
+	if len(progs) == 0 {
+		return nil, ErrNoThreads
+	}
+	if cfg.MemSize <= 0 && len(cfg.InitMem) == 0 {
+		return nil, errors.New("shm: MemSize must be positive")
+	}
+	mem := make([]float64, cfg.MemSize)
+	if len(cfg.InitMem) > 0 {
+		if cfg.MemSize == 0 {
+			mem = make([]float64, len(cfg.InitMem))
+		} else if len(cfg.InitMem) > cfg.MemSize {
+			return nil, errors.New("shm: InitMem larger than MemSize")
+		}
+		copy(mem, cfg.InitMem)
+	}
+	return &Machine{
+		cfg:     cfg,
+		policy:  policy,
+		progs:   progs,
+		mem:     mem,
+		pending: make([]Request, len(progs)),
+		done:    make([]bool, len(progs)),
+		crashed: make([]bool, len(progs)),
+	}, nil
+}
+
+// Mem returns the machine's register file. After Run it holds the final
+// memory contents. The returned slice aliases machine state; treat it as
+// read-only.
+func (m *Machine) Mem() []float64 { return m.mem }
+
+// Steps returns the number of executed shared-memory steps so far.
+func (m *Machine) Steps() int { return m.steps }
+
+// Trace returns the recorded step log (empty unless Config.Trace).
+func (m *Machine) Trace() []Step { return m.trace }
+
+// Run executes the machine until every live thread terminates, the policy
+// crashes all remaining threads, or MaxSteps is reached. It releases any
+// Func-adapted goroutines before returning.
+func (m *Machine) Run() (RunStats, error) {
+	if m.ran {
+		return RunStats{}, ErrAlreadyRan
+	}
+	m.ran = true
+	defer func() {
+		for _, p := range m.progs {
+			if s, ok := p.(Stopper); ok {
+				s.Stop()
+			}
+		}
+	}()
+
+	// Prime every thread with its first request.
+	for i, p := range m.progs {
+		req, done := p.Next(Result{})
+		if done {
+			m.done[i] = true
+			continue
+		}
+		m.pending[i] = req
+	}
+
+	view := &View{m: m}
+	for {
+		if m.liveCount() == 0 {
+			break
+		}
+		if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
+			break
+		}
+		d := m.policy.Next(view)
+		if err := m.applyCrashes(d.Crash); err != nil {
+			return m.stats(), err
+		}
+		if m.liveCount() == 0 {
+			break
+		}
+		if d.Thread < 0 || d.Thread >= len(m.progs) ||
+			m.done[d.Thread] || m.crashed[d.Thread] {
+			return m.stats(), fmt.Errorf("thread %d at step %d: %w",
+				d.Thread, m.steps, ErrBadThread)
+		}
+		if err := m.execute(d.Thread); err != nil {
+			return m.stats(), err
+		}
+	}
+	return m.stats(), nil
+}
+
+func (m *Machine) liveCount() int {
+	c := 0
+	for i := range m.progs {
+		if !m.done[i] && !m.crashed[i] {
+			c++
+		}
+	}
+	return c
+}
+
+func (m *Machine) applyCrashes(crash []int) error {
+	for _, i := range crash {
+		if i < 0 || i >= len(m.progs) || m.done[i] || m.crashed[i] {
+			continue
+		}
+		// The model allows crashing at most n-1 threads overall; enforce
+		// it so adversaries cannot trivially halt progress forever.
+		crashedSoFar := 0
+		for _, c := range m.crashed {
+			if c {
+				crashedSoFar++
+			}
+		}
+		if crashedSoFar >= len(m.progs)-1 {
+			return ErrTooManyDead
+		}
+		m.crashed[i] = true
+	}
+	return nil
+}
+
+func (m *Machine) execute(tid int) error {
+	req := m.pending[tid]
+	if req.Addr < 0 || req.Addr >= len(m.mem) {
+		return fmt.Errorf("thread %d op %s addr %d (mem %d): %w",
+			tid, req.Kind, req.Addr, len(m.mem), ErrBadAddress)
+	}
+	m.steps++
+	res := Result{Valid: true, Time: m.steps}
+	old := m.mem[req.Addr]
+	switch req.Kind {
+	case OpRead:
+		res.Val = old
+	case OpWrite:
+		m.mem[req.Addr] = req.Val
+		res.Val = old
+	case OpFAA:
+		m.mem[req.Addr] = old + req.Val
+		res.Val = old
+	case OpCAS:
+		res.Val = old
+		if old == req.Exp {
+			m.mem[req.Addr] = req.Val
+			res.OK = true
+		}
+	default:
+		return fmt.Errorf("thread %d: unknown op kind %d", tid, req.Kind)
+	}
+	step := Step{Time: m.steps, Thread: tid, Req: req, Res: res}
+	if m.cfg.Trace {
+		m.trace = append(m.trace, step)
+	}
+	if m.cfg.OnStep != nil {
+		m.cfg.OnStep(step)
+	}
+	next, done := m.progs[tid].Next(res)
+	if done {
+		m.done[tid] = true
+	} else {
+		m.pending[tid] = next
+	}
+	return nil
+}
+
+func (m *Machine) stats() RunStats {
+	s := RunStats{Steps: m.steps}
+	for i := range m.progs {
+		switch {
+		case m.done[i]:
+			s.Completed++
+		case m.crashed[i]:
+			s.Crashed++
+		default:
+			s.Stalled++
+		}
+	}
+	return s
+}

@@ -1,0 +1,140 @@
+package vec
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sparse is a sparse vector in coordinate form. Indices are strictly
+// increasing; Values[i] is the entry at Indices[i]. Dim is the logical
+// dimension. The zero value is an empty vector of dimension 0.
+type Sparse struct {
+	Dim     int
+	Indices []int
+	Values  []float64
+}
+
+// NewSparse builds a Sparse of dimension d from parallel (index, value)
+// slices. The pairs are copied, sorted by index, zero values dropped, and
+// duplicate indices rejected.
+func NewSparse(d int, indices []int, values []float64) (Sparse, error) {
+	if len(indices) != len(values) {
+		return Sparse{}, fmt.Errorf("sparse: %d indices vs %d values: %w",
+			len(indices), len(values), ErrDimMismatch)
+	}
+	type pair struct {
+		i int
+		v float64
+	}
+	pairs := make([]pair, 0, len(indices))
+	for k, idx := range indices {
+		if idx < 0 || idx >= d {
+			return Sparse{}, fmt.Errorf("sparse: index %d out of range [0,%d)", idx, d)
+		}
+		if values[k] == 0 {
+			continue
+		}
+		pairs = append(pairs, pair{idx, values[k]})
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	out := Sparse{
+		Dim:     d,
+		Indices: make([]int, 0, len(pairs)),
+		Values:  make([]float64, 0, len(pairs)),
+	}
+	for k, p := range pairs {
+		if k > 0 && pairs[k-1].i == p.i {
+			return Sparse{}, fmt.Errorf("sparse: duplicate index %d", p.i)
+		}
+		out.Indices = append(out.Indices, p.i)
+		out.Values = append(out.Values, p.v)
+	}
+	return out, nil
+}
+
+// FromDense converts a dense vector to sparse form, dropping zeros.
+func FromDense(x Dense) Sparse {
+	out := Sparse{Dim: len(x)}
+	for i, v := range x {
+		if v != 0 {
+			out.Indices = append(out.Indices, i)
+			out.Values = append(out.Values, v)
+		}
+	}
+	return out
+}
+
+// ToDense materializes s as a dense vector.
+func (s Sparse) ToDense() Dense {
+	out := make(Dense, s.Dim)
+	for k, i := range s.Indices {
+		out[i] = s.Values[k]
+	}
+	return out
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (s Sparse) NNZ() int { return len(s.Indices) }
+
+// At returns the entry at index i (0 if not stored).
+func (s Sparse) At(i int) float64 {
+	k := sort.SearchInts(s.Indices, i)
+	if k < len(s.Indices) && s.Indices[k] == i {
+		return s.Values[k]
+	}
+	return 0
+}
+
+// Norm2Sq returns ‖s‖₂².
+func (s Sparse) Norm2Sq() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		sum += v * v
+	}
+	return sum
+}
+
+// Norm1 returns ‖s‖₁.
+func (s Sparse) Norm1() float64 {
+	var sum float64
+	for _, v := range s.Values {
+		if v < 0 {
+			sum -= v
+		} else {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// Scale multiplies every stored value by c in place.
+func (s Sparse) Scale(c float64) {
+	for k := range s.Values {
+		s.Values[k] *= c
+	}
+}
+
+// AddScaledInto performs dst += c*s where dst is dense.
+func (s Sparse) AddScaledInto(dst Dense, c float64) error {
+	if len(dst) != s.Dim {
+		return fmt.Errorf("sparse axpy into dim %d from dim %d: %w",
+			len(dst), s.Dim, ErrDimMismatch)
+	}
+	for k, i := range s.Indices {
+		dst[i] += c * s.Values[k]
+	}
+	return nil
+}
+
+// DotDense returns <s, x> for dense x.
+func (s Sparse) DotDense(x Dense) (float64, error) {
+	if len(x) != s.Dim {
+		return 0, fmt.Errorf("sparse dot dense: dim %d vs %d: %w",
+			s.Dim, len(x), ErrDimMismatch)
+	}
+	var sum float64
+	for k, i := range s.Indices {
+		sum += s.Values[k] * x[i]
+	}
+	return sum, nil
+}
