@@ -40,12 +40,22 @@ import (
 type (
 	// Dense is a dense float64 vector.
 	Dense = vec.Dense
+	// Sparse is a sparse vector in coordinate (index/value) form, the
+	// representation the sparse update pipeline moves through oracles,
+	// runtimes and the contention tracker.
+	Sparse = vec.Sparse
 	// Rand is the deterministic splittable PRNG used everywhere.
 	Rand = rng.Rand
 )
 
 // NewDense returns a zero vector of dimension d.
 func NewDense(d int) Dense { return vec.NewDense(d) }
+
+// NewSparse builds a Sparse of dimension d from parallel index/value
+// slices (copied, sorted, zeros dropped).
+func NewSparse(d int, indices []int, values []float64) (Sparse, error) {
+	return vec.NewSparse(d, indices, values)
+}
 
 // NewRand returns a seeded deterministic generator.
 func NewRand(seed uint64) *Rand { return rng.New(seed) }
@@ -55,6 +65,10 @@ func NewRand(seed uint64) *Rand { return rng.New(seed) }
 type (
 	// Oracle is a stochastic-gradient oracle (see internal/grad).
 	Oracle = grad.Oracle
+	// SparseOracle is the optional sparse-gradient capability: the
+	// oracle announces each gradient's read support and emits index/value
+	// update lists, letting runtimes do O(nnz) work per iteration.
+	SparseOracle = grad.SparseOracle
 	// Constants are the analytic constants (c, L, M², R) of an objective.
 	Constants = grad.Constants
 	// Dataset is a synthetic supervised dataset.
@@ -93,6 +107,22 @@ func NewLogistic(ds *Dataset, lambda, r0 float64) (Oracle, error) {
 // NewSingleCoordinate wraps an oracle so gradients have a single non-zero
 // entry (the sparsity regime of the prior De Sa et al. analysis).
 func NewSingleCoordinate(base Oracle) Oracle { return grad.NewSingleCoordinate(base) }
+
+// NewSparseLeastSquares builds least squares over sparse feature rows —
+// the workload where the sparse pipeline's O(nnz) updates beat the dense
+// O(d) scan. Typically fed a dataset thinned with SparsifyRows.
+func NewSparseLeastSquares(ds *Dataset, r0 float64) (*grad.SparseLeastSquares, error) {
+	return grad.NewSparseLeastSquares(ds, r0)
+}
+
+// AsSparseOracle returns o's sparse capability, if it has one.
+func AsSparseOracle(o Oracle) (SparseOracle, bool) { return grad.AsSparse(o) }
+
+// SparsifyRows thins a dataset's feature rows in place (keeping each
+// entry with probability keep, rescaled to preserve second moments).
+func SparsifyRows(ds *Dataset, keep float64, r *Rand) error {
+	return data.SparsifyRows(ds, keep, r)
+}
 
 // NewMiniBatch wraps an oracle so each gradient averages b base draws,
 // shrinking the noise part of M² by 1/b.
@@ -182,16 +212,38 @@ type (
 	ParallelConfig = hogwild.Config
 	// ParallelResult is its outcome.
 	ParallelResult = hogwild.Result
-	// Mode selects the synchronization discipline.
+	// Mode selects a built-in synchronization discipline.
 	Mode = hogwild.Mode
+	// Strategy is the pluggable synchronization discipline of the
+	// real-thread runtime; implement it to add new disciplines without
+	// touching RunParallel.
+	Strategy = hogwild.Strategy
+	// Stepper executes SGD iterations for one worker under a Strategy.
+	Stepper = hogwild.Stepper
 )
 
 // Real-thread synchronization modes.
 const (
-	LockFree    = hogwild.LockFree
-	CoarseLock  = hogwild.CoarseLock
-	ShardedLock = hogwild.ShardedLock
+	LockFree       = hogwild.LockFree
+	CoarseLock     = hogwild.CoarseLock
+	ShardedLock    = hogwild.ShardedLock
+	SparseLockFree = hogwild.SparseLockFree
 )
+
+// NewLockFreeStrategy returns the Algorithm-1 lock-free strategy.
+func NewLockFreeStrategy() Strategy { return hogwild.NewLockFree() }
+
+// NewCoarseLockStrategy returns the consistent coarse-locking baseline.
+func NewCoarseLockStrategy() Strategy { return hogwild.NewCoarseLock() }
+
+// NewStripedLockStrategy returns striped per-coordinate locking with the
+// given stripe count (0 ⇒ the package default).
+func NewStripedLockStrategy(stripes int) Strategy { return hogwild.NewStripedLock(stripes) }
+
+// NewSparseLockFreeStrategy returns the sparse-aware lock-free strategy
+// (requires a SparseOracle; O(nnz) shared-memory operations per
+// iteration).
+func NewSparseLockFreeStrategy() Strategy { return hogwild.NewSparseLockFree() }
 
 // RunParallel executes lock-free (or lock-based) SGD on real goroutines.
 func RunParallel(cfg ParallelConfig) (*ParallelResult, error) { return hogwild.Run(cfg) }

@@ -1,11 +1,12 @@
 // Command asgdbench regenerates the paper's quantitative results. Each
-// experiment id (e1..e14) maps to one theorem, lemma, figure or discussion
-// point of the paper; see DESIGN.md §3 for the index.
+// experiment id (e1..e15) maps to one theorem, lemma, figure, discussion
+// point or runtime claim; see DESIGN.md §3 for the index.
 //
 // Usage:
 //
 //	asgdbench -exp all -scale quick
 //	asgdbench -exp e5 -scale full
+//	asgdbench -exp e15 -scale full   # sparse vs dense update pipeline
 package main
 
 import (
@@ -26,7 +27,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("asgdbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e14), comma list, or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e15), comma list, or 'all'")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {

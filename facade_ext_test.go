@@ -46,6 +46,52 @@ func TestPublicAPIParallelFull(t *testing.T) {
 	}
 }
 
+func TestPublicAPISparsePipeline(t *testing.T) {
+	ds, err := GenLinear(LinearConfig{Samples: 80, Dim: 10, NoiseStd: 0.1}, NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := SparsifyRows(ds, 0.4, NewRand(22)); err != nil {
+		t.Fatal(err)
+	}
+	sls, err := NewSparseLeastSquares(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsSparseOracle(sls); !ok {
+		t.Fatal("sparse least squares lost its capability through the facade")
+	}
+	alpha := 0.5 / sls.Constants().L
+	dense, err := RunParallel(ParallelConfig{
+		Workers: 2, TotalIters: 4000, Alpha: alpha, Oracle: sls, Seed: 23,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := RunParallel(ParallelConfig{
+		Workers: 2, TotalIters: 4000, Alpha: alpha, Oracle: sls, Seed: 23,
+		Mode: SparseLockFree,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sparse.CoordOps >= dense.CoordOps {
+		t.Errorf("sparse pipeline did not reduce coordinate accesses: %d vs %d",
+			sparse.CoordOps, dense.CoordOps)
+	}
+	if v := sls.Value(sparse.Final); v > 2*sls.Value(dense.Final)+0.1 {
+		t.Errorf("sparse solution quality off: %v vs %v",
+			v, sls.Value(dense.Final))
+	}
+	// Custom strategies plug into the same entry point.
+	if _, err := RunParallel(ParallelConfig{
+		Workers: 2, TotalIters: 500, Alpha: alpha, Oracle: sls, Seed: 24,
+		Strategy: NewStripedLockStrategy(4),
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPublicAPIMatrixFactorization(t *testing.T) {
 	mf, err := NewMatrixFactorization(MFConfig{
 		M: 15, N: 12, Rank: 2, ObserveProb: 0.5,

@@ -1,0 +1,3 @@
+module asyncsgd
+
+go 1.24

@@ -65,16 +65,36 @@ type Tag struct {
 	Last   bool
 }
 
+// coordTime is one touched coordinate with the machine time of the touch.
+// Iterations store their reads and updates as coordTime lists — the same
+// sparse index/value representation the update pipeline uses — so an
+// iteration costs O(touched) tracker memory, not O(d).
+type coordTime struct{ coord, time int }
+
 // iter is the record of one SGD iteration's timeline.
 type iter struct {
 	thread      int
 	localIter   int
-	startTime   int   // counter fetch&add time (iteration start)
-	firstUpTime int   // first model update time (0 if none yet)
-	endTime     int   // last model update time (0 if incomplete)
-	readTimes   []int // per-coordinate read times (0 if not read)
-	updateTimes []int // per-coordinate update times (0 if not updated)
-	orderIdx    int   // 1-based paper order; 0 until assigned in Finalize
+	startTime   int         // counter fetch&add time (iteration start)
+	firstUpTime int         // first model update time (0 if none yet)
+	endTime     int         // last model update time (0 if incomplete)
+	reads       []coordTime // touched-coordinate read times, in read order
+	updates     []coordTime // touched-coordinate update times, in update order
+	orderIdx    int         // 1-based paper order; 0 until assigned in Finalize
+}
+
+// readTimeOf returns the time it read coord (0 if it never did). Both
+// worker pipelines read coordinates in strictly increasing order (the
+// dense path scans 0..d−1; PlanSparse supports are increasing), so the
+// list is searchable.
+func (it *iter) readTimeOf(coord int) int {
+	k := sort.Search(len(it.reads), func(i int) bool {
+		return it.reads[i].coord >= coord
+	})
+	if k < len(it.reads) && it.reads[k].coord == coord {
+		return it.reads[k].time
+	}
+	return 0
 }
 
 // Tracker accumulates iteration timelines during a run and computes the
@@ -102,11 +122,9 @@ func NewTracker(d int) *Tracker {
 // thread at the given machine time.
 func (tr *Tracker) Begin(thread, localIter, time int) {
 	it := &iter{
-		thread:      thread,
-		localIter:   localIter,
-		startTime:   time,
-		readTimes:   make([]int, tr.d),
-		updateTimes: make([]int, tr.d),
+		thread:    thread,
+		localIter: localIter,
+		startTime: time,
 	}
 	tr.byKey[[2]int{thread, localIter}] = len(tr.iters)
 	tr.iters = append(tr.iters, it)
@@ -114,18 +132,33 @@ func (tr *Tracker) Begin(thread, localIter, time int) {
 }
 
 // Read records that the iteration read model coordinate coord at time.
+// The reads list is kept sorted by coordinate (both worker pipelines
+// already read in increasing order, so the common case is an append).
 func (tr *Tracker) Read(thread, localIter, coord, time int) {
-	if it := tr.get(thread, localIter); it != nil {
-		it.readTimes[coord] = time
-		tr.touch(time)
+	it := tr.get(thread, localIter)
+	if it == nil {
+		return
 	}
+	if n := len(it.reads); n > 0 && it.reads[n-1].coord >= coord {
+		k := sort.Search(n, func(i int) bool { return it.reads[i].coord >= coord })
+		if k < n && it.reads[k].coord == coord {
+			it.reads[k].time = time // re-read: keep the latest
+		} else {
+			it.reads = append(it.reads, coordTime{})
+			copy(it.reads[k+1:], it.reads[k:])
+			it.reads[k] = coordTime{coord, time}
+		}
+	} else {
+		it.reads = append(it.reads, coordTime{coord, time})
+	}
+	tr.touch(time)
 }
 
 // Update records a model fetch&add on coord at time. first marks the
 // iteration's first model update (the ordering marker).
 func (tr *Tracker) Update(thread, localIter, coord, time int, first bool) {
 	if it := tr.get(thread, localIter); it != nil {
-		it.updateTimes[coord] = time
+		it.updates = append(it.updates, coordTime{coord, time})
 		if first || it.firstUpTime == 0 {
 			it.firstUpTime = time
 		}
@@ -213,9 +246,9 @@ func (tr *Tracker) computeTaus() {
 	for t := 1; t <= n; t++ {
 		it := tr.ordered[t-1]
 		minRead := 0
-		for _, r := range it.readTimes {
-			if r > 0 && (minRead == 0 || r < minRead) {
-				minRead = r
+		for _, ct := range it.reads {
+			if ct.time > 0 && (minRead == 0 || ct.time < minRead) {
+				minRead = ct.time
 			}
 		}
 		if minRead == 0 {
@@ -244,15 +277,11 @@ func (tr *Tracker) computeTaus() {
 }
 
 // missed reports whether iteration cur's view is missing any update of
-// predecessor pred.
+// predecessor pred. Both touched sets are small (O(nnz)), so the nested
+// scan beats materializing dense per-coordinate arrays.
 func (tr *Tracker) missed(cur, pred *iter) bool {
-	for j := 0; j < tr.d; j++ {
-		u := pred.updateTimes[j]
-		if u == 0 {
-			continue
-		}
-		r := cur.readTimes[j]
-		if r > 0 && u > r {
+	for _, u := range pred.updates {
+		if r := cur.readTimeOf(u.coord); r > 0 && u.time > r {
 			return true
 		}
 	}
@@ -318,6 +347,81 @@ func (tr *Tracker) TauMax() int {
 // TauAvg returns the average interval contention (the paper's τavg).
 func (tr *Tracker) TauAvg() float64 {
 	rho := tr.IntervalContentions()
+	if len(rho) == 0 {
+		return 0
+	}
+	s := 0
+	for _, r := range rho {
+		s += r
+	}
+	return float64(s) / float64(len(rho))
+}
+
+// TouchedContentions restricts the Ω-overlap behind ρ(θ) to actual data
+// conflicts: for every started iteration it counts the other iterations
+// that both overlap it in time AND update at least one common coordinate.
+// For dense updates every overlapping pair conflicts and this coincides
+// with IntervalContentions; for sparse updates it measures the contention
+// the paper's per-coordinate fetch&add semantics actually see.
+func (tr *Tracker) TouchedContentions() []int {
+	n := len(tr.iters)
+	out := make([]int, n)
+	if n == 0 {
+		return out
+	}
+	ends := make([]int, n)
+	byCoord := make(map[int][]int) // coord -> indices of iterations updating it
+	for i, it := range tr.iters {
+		e := it.endTime
+		if e == 0 {
+			e = tr.clockS
+		}
+		ends[i] = e
+		seen := -1
+		for _, u := range it.updates {
+			if u.coord == seen { // consecutive duplicates (re-updates) are rare
+				continue
+			}
+			seen = u.coord
+			byCoord[u.coord] = append(byCoord[u.coord], i)
+		}
+	}
+	stamp := make([]int, n)
+	for i := range stamp {
+		stamp[i] = -1
+	}
+	for i, it := range tr.iters {
+		for _, u := range it.updates {
+			for _, j := range byCoord[u.coord] {
+				if j == i || stamp[j] == i {
+					continue
+				}
+				stamp[j] = i
+				other := tr.iters[j]
+				if other.startTime <= ends[i] && it.startTime <= ends[j] {
+					out[i]++
+				}
+			}
+		}
+	}
+	return out
+}
+
+// TauMaxTouched returns the maximum touched-coordinate contention — the
+// sparse-aware counterpart of TauMax.
+func (tr *Tracker) TauMaxTouched() int {
+	m := 0
+	for _, r := range tr.TouchedContentions() {
+		if r > m {
+			m = r
+		}
+	}
+	return m
+}
+
+// TauAvgTouched returns the average touched-coordinate contention.
+func (tr *Tracker) TauAvgTouched() float64 {
+	rho := tr.TouchedContentions()
 	if len(rho) == 0 {
 		return 0
 	}
@@ -468,20 +572,29 @@ type IterTimeline struct {
 }
 
 // Timelines returns the recorded iteration timelines in start order.
-// Slices are copies; mutating them does not affect the tracker.
+// ReadTimes/UpdateTimes are materialized as dense per-coordinate arrays
+// (0 = untouched) for the Figure-1 renderer; the tracker itself stores
+// only the touched coordinates.
 func (tr *Tracker) Timelines() []IterTimeline {
 	out := make([]IterTimeline, 0, len(tr.iters))
 	for _, it := range tr.iters {
-		out = append(out, IterTimeline{
+		tl := IterTimeline{
 			Thread:      it.thread,
 			LocalIter:   it.localIter,
 			OrderIdx:    it.orderIdx,
 			Start:       it.startTime,
 			FirstUp:     it.firstUpTime,
 			End:         it.endTime,
-			ReadTimes:   append([]int(nil), it.readTimes...),
-			UpdateTimes: append([]int(nil), it.updateTimes...),
-		})
+			ReadTimes:   make([]int, tr.d),
+			UpdateTimes: make([]int, tr.d),
+		}
+		for _, ct := range it.reads {
+			tl.ReadTimes[ct.coord] = ct.time
+		}
+		for _, ct := range it.updates {
+			tl.UpdateTimes[ct.coord] = ct.time
+		}
+		out = append(out, tl)
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Start < out[b].Start })
 	return out

@@ -1,0 +1,65 @@
+package contention
+
+import "testing"
+
+// Two iterations overlapping in time but updating disjoint coordinates:
+// interval contention sees a conflict, touched-coordinate contention does
+// not. A third iteration sharing a coordinate with the first conflicts
+// under both definitions.
+func TestTouchedContentions(t *testing.T) {
+	tr := NewTracker(4)
+	// Iteration A: updates coord 0 over [1, 10].
+	tr.Begin(0, 0, 1)
+	tr.Update(0, 0, 0, 5, true)
+	tr.End(0, 0, 10)
+	// Iteration B: updates coord 1 over [2, 9] — overlaps A, disjoint coords.
+	tr.Begin(1, 0, 2)
+	tr.Update(1, 0, 1, 6, true)
+	tr.End(1, 0, 9)
+	// Iteration C: updates coord 0 over [3, 8] — overlaps A on coord 0.
+	tr.Begin(2, 0, 3)
+	tr.Update(2, 0, 0, 7, true)
+	tr.End(2, 0, 8)
+	tr.Finalize()
+
+	rho := tr.IntervalContentions()
+	if rho[0] != 2 || rho[1] != 2 || rho[2] != 2 {
+		t.Errorf("interval contentions = %v, want all 2", rho)
+	}
+	touched := tr.TouchedContentions()
+	want := []int{1, 0, 1} // A↔C conflict on coord 0; B conflicts with nobody
+	for i := range want {
+		if touched[i] != want[i] {
+			t.Errorf("touched contentions = %v, want %v", touched, want)
+			break
+		}
+	}
+	if tr.TauMaxTouched() != 1 {
+		t.Errorf("TauMaxTouched = %d, want 1", tr.TauMaxTouched())
+	}
+	if got := tr.TauAvgTouched(); got < 0.66 || got > 0.67 {
+		t.Errorf("TauAvgTouched = %v, want 2/3", got)
+	}
+}
+
+// With dense updates (every iteration touches every coordinate) the
+// touched-coordinate definition degenerates to interval contention.
+func TestTouchedMatchesIntervalWhenDense(t *testing.T) {
+	tr := NewTracker(2)
+	for th := 0; th < 3; th++ {
+		tr.Begin(th, 0, 1+th)
+		for c := 0; c < 2; c++ {
+			tr.Update(th, 0, c, 5+th, c == 0)
+		}
+		tr.End(th, 0, 10+th)
+	}
+	tr.Finalize()
+	rho := tr.IntervalContentions()
+	touched := tr.TouchedContentions()
+	for i := range rho {
+		if rho[i] != touched[i] {
+			t.Errorf("dense: interval %v vs touched %v", rho, touched)
+			break
+		}
+	}
+}

@@ -27,6 +27,15 @@ type EpochConfig struct {
 	Track      bool      // attach a contention tracker
 	Accumulate bool      // workers also accumulate gradients locally (Alg. 2 last epoch)
 
+	// Sparse switches workers to the sparse update pipeline: each
+	// iteration reads only the support announced by the oracle's
+	// PlanSparse and fetch&adds only the gradient's non-zeros, so an
+	// iteration costs O(|support|+nnz) shared-memory steps instead of
+	// O(d). Requires an Oracle with the grad.SparseOracle capability;
+	// incompatible with Momentum (a decaying dense velocity touches every
+	// coordinate).
+	Sparse bool
+
 	// Momentum enables the §8 alternative mitigation: each worker keeps a
 	// local heavy-ball velocity v ← β·v + g̃ and applies −α·v.
 	Momentum float64
@@ -64,6 +73,15 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 		cfg.Oracle == nil || cfg.Policy == nil {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
 	}
+	if cfg.Sparse {
+		if _, ok := grad.AsSparse(cfg.Oracle); !ok {
+			return nil, fmt.Errorf("%w: Sparse requires a grad.SparseOracle (got %T)",
+				ErrBadConfig, cfg.Oracle)
+		}
+		if cfg.Momentum > 0 {
+			return nil, fmt.Errorf("%w: Sparse is incompatible with Momentum", ErrBadConfig)
+		}
+	}
 	d := cfg.Oracle.Dim()
 	x0 := cfg.X0
 	if x0 == nil {
@@ -82,7 +100,7 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 	for i := 0; i < cfg.Threads; i++ {
 		progs[i] = newWorker(
 			i, cfg.Alpha, cfg.TotalIters,
-			cfg.Oracle.CloneFor(i),
+			cfg.Oracle.CloneFor(i), cfg.Sparse,
 			rng.NewStream(cfg.Seed, uint64(i)+1),
 			rec, cfg.Accumulate,
 			workerOpts{momentum: cfg.Momentum, stalenessEta: cfg.StalenessEta},

@@ -6,10 +6,13 @@
 //
 // Memory layout inside the shm machine: register 0 is the shared iteration
 // counter C; registers 1..d hold the model X. Each worker repeatedly
-// claims an iteration with fetch&add on C, reads the d model coordinates
-// into its (possibly inconsistent) view v, computes a stochastic gradient
+// claims an iteration with fetch&add on C, reads model coordinates into
+// its (possibly inconsistent) view v, computes a stochastic gradient
 // g̃(v), and applies −α·g̃[j] to each non-zero coordinate with fetch&add —
-// exactly Algorithm 1.
+// exactly Algorithm 1. In the default dense mode the view read covers all
+// d coordinates; in sparse mode (EpochConfig.Sparse, requiring a
+// grad.SparseOracle) the worker reads only the gradient's announced
+// support, so an iteration costs O(|support| + nnz) shared-memory steps.
 package core
 
 import (
@@ -34,6 +37,10 @@ const (
 // velocity under momentum), the effective step size (equal to α unless
 // staleness-aware scaling is enabled), and the machine times tying it into
 // the paper's total order (FirstUp orders iterations; Lemma 6.1).
+//
+// For sparse-mode iterations, View holds the read support's values with
+// zeros elsewhere (the worker never read the other coordinates) and Grad
+// is the materialized sparse gradient.
 type IterRecord struct {
 	Thread    int
 	LocalIter int
@@ -79,6 +86,7 @@ type worker struct {
 	alpha  float64
 	budget int // T: shared iteration budget
 	oracle grad.Oracle
+	so     grad.SparseOracle // non-nil ⇒ sparse mode
 	r      *rng.Rand
 	rec    *recorder // nil when recording disabled
 	acc    vec.Dense // local gradient accumulator (Algorithm 2 last epoch); nil when disabled
@@ -89,17 +97,21 @@ type worker struct {
 	pos      int // index into reads / nz updates
 	view     vec.Dense
 	g        vec.Dense
-	vel      vec.Dense // momentum velocity (nil unless momentum > 0)
-	nz       []int     // indices of non-zero gradient entries
-	claimed  int       // counter value claimed by the current iteration
-	alphaEff float64   // per-iteration effective step size
+	vel      vec.Dense  // momentum velocity (nil unless momentum > 0)
+	plan     []int      // sparse mode: read support of the planned gradient
+	svals    []float64  // sparse mode: gathered support values
+	sg       vec.Sparse // sparse mode: the sparse gradient
+	nz       []int      // indices of non-zero update entries
+	nzv      []float64  // matching update values (the gradient entries)
+	claimed  int        // counter value claimed by the current iteration
+	alphaEff float64    // per-iteration effective step size
 
 	cur IterRecord // record under construction
 }
 
 var _ shm.Program = (*worker)(nil)
 
-func newWorker(id int, alpha float64, budget int, o grad.Oracle, r *rng.Rand, rec *recorder, accumulate bool, opts workerOpts) *worker {
+func newWorker(id int, alpha float64, budget int, o grad.Oracle, sparse bool, r *rng.Rand, rec *recorder, accumulate bool, opts workerOpts) *worker {
 	d := o.Dim()
 	w := &worker{
 		id:     id,
@@ -110,9 +122,15 @@ func newWorker(id int, alpha float64, budget int, o grad.Oracle, r *rng.Rand, re
 		r:      r,
 		rec:    rec,
 		opts:   opts,
-		view:   vec.NewDense(d),
-		g:      vec.NewDense(d),
 		nz:     make([]int, 0, d),
+		nzv:    make([]float64, 0, d),
+	}
+	if sparse {
+		w.so, _ = grad.AsSparse(o)
+		w.svals = make([]float64, 0, d)
+	} else {
+		w.view = vec.NewDense(d)
+		w.g = vec.NewDense(d)
 	}
 	if accumulate {
 		w.acc = vec.NewDense(d)
@@ -137,48 +155,34 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 		}
 		w.claimed = int(prev.Val)
 		w.pos = 0
+		if w.so != nil {
+			w.plan = w.so.PlanSparse(w.r)
+			w.svals = w.svals[:0]
+			if len(w.plan) == 0 {
+				// The planned gradient reads nothing: evaluate immediately
+				// (it may still be non-zero only on an empty support, i.e.
+				// identically zero) and move on.
+				return w.gradReady(prev.Time)
+			}
+		}
 		w.phase = phaseRead
 		return w.issueRead()
 
 	case phaseRead:
-		w.view[w.pos] = prev.Val
-		w.pos++
-		if w.pos < w.d {
-			return w.issueRead()
-		}
-		// View complete: generate the stochastic gradient (line 5) and,
-		// with momentum enabled, fold it into the local velocity; the
-		// applied direction is then the velocity.
-		w.oracle.Grad(w.g, w.view, w.r)
-		if w.vel != nil {
-			w.vel.Scale(w.opts.momentum)
-			_ = w.vel.Add(w.g)
-			copy(w.g, w.vel)
-		}
-		w.alphaEff = w.alpha
-		if w.rec != nil {
-			w.cur = IterRecord{
-				Thread:    w.id,
-				LocalIter: w.iter,
-				View:      w.view.Clone(),
-				Grad:      w.g.Clone(),
-				GenTime:   prev.Time,
+		if w.so != nil {
+			w.svals = append(w.svals, prev.Val)
+			w.pos++
+			if w.pos < len(w.plan) {
+				return w.issueRead()
+			}
+		} else {
+			w.view[w.pos] = prev.Val
+			w.pos++
+			if w.pos < w.d {
+				return w.issueRead()
 			}
 		}
-		if w.opts.stalenessEta > 0 {
-			// Staleness-aware mitigation: one extra shared-memory read of
-			// the iteration counter to estimate how stale this gradient
-			// already is, before scaling the step size.
-			w.phase = phaseProbe
-			return shm.Request{
-				Kind: shm.OpRead,
-				Addr: CounterAddr,
-				Tag: contention.Tag{
-					Thread: w.id, Iter: w.iter, Role: contention.RoleProbe,
-				},
-			}, false
-		}
-		return w.beginUpdates()
+		return w.gradReady(prev.Time)
 
 	case phaseProbe:
 		staleness := int(prev.Val) - w.claimed - 1
@@ -210,21 +214,81 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 	}
 }
 
+// gradReady runs once the view (dense) or support values (sparse) are
+// complete: generate the stochastic gradient (line 5), fold momentum,
+// snapshot the record, and either probe the counter (staleness-aware
+// extension) or begin the updates.
+func (w *worker) gradReady(genTime int) (shm.Request, bool) {
+	if w.so != nil {
+		w.so.GradSparseAt(&w.sg, w.svals, w.r)
+	} else {
+		w.oracle.Grad(w.g, w.view, w.r)
+		if w.vel != nil {
+			w.vel.Scale(w.opts.momentum)
+			_ = w.vel.Add(w.g)
+			copy(w.g, w.vel)
+		}
+	}
+	w.alphaEff = w.alpha
+	if w.rec != nil {
+		w.cur = IterRecord{
+			Thread:    w.id,
+			LocalIter: w.iter,
+			GenTime:   genTime,
+		}
+		if w.so != nil {
+			view := vec.NewDense(w.d)
+			for k, j := range w.plan {
+				view[j] = w.svals[k]
+			}
+			w.cur.View = view
+			w.cur.Grad = w.sg.ToDense()
+		} else {
+			w.cur.View = w.view.Clone()
+			w.cur.Grad = w.g.Clone()
+		}
+	}
+	if w.opts.stalenessEta > 0 {
+		// Staleness-aware mitigation: one extra shared-memory read of
+		// the iteration counter to estimate how stale this gradient
+		// already is, before scaling the step size.
+		w.phase = phaseProbe
+		return shm.Request{
+			Kind: shm.OpRead,
+			Addr: CounterAddr,
+			Tag: contention.Tag{
+				Thread: w.id, Iter: w.iter, Role: contention.RoleProbe,
+			},
+		}, false
+	}
+	return w.beginUpdates()
+}
+
 // beginUpdates finalizes the iteration's applied direction and effective
 // step, records bookkeeping, and issues the first model update (or skips
 // straight to the next iteration on a zero direction).
 func (w *worker) beginUpdates() (shm.Request, bool) {
 	w.nz = w.nz[:0]
-	for j, v := range w.g {
-		if v != 0 {
-			w.nz = append(w.nz, j)
+	w.nzv = w.nzv[:0]
+	if w.so != nil {
+		w.nz = append(w.nz, w.sg.Indices...)
+		w.nzv = append(w.nzv, w.sg.Values...)
+		if w.acc != nil {
+			_ = w.sg.AddScaledInto(w.acc, -w.alphaEff)
+		}
+	} else {
+		for j, v := range w.g {
+			if v != 0 {
+				w.nz = append(w.nz, j)
+				w.nzv = append(w.nzv, v)
+			}
+		}
+		if w.acc != nil {
+			_ = w.acc.AddScaled(-w.alphaEff, w.g)
 		}
 	}
 	if w.rec != nil {
 		w.cur.AlphaEff = w.alphaEff
-	}
-	if w.acc != nil {
-		_ = w.acc.AddScaled(-w.alphaEff, w.g)
 	}
 	if len(w.nz) == 0 {
 		// Zero direction: nothing to apply; the iteration contributes
@@ -251,6 +315,9 @@ func (w *worker) issueCounter() (shm.Request, bool) {
 
 func (w *worker) issueRead() (shm.Request, bool) {
 	j := w.pos
+	if w.so != nil {
+		j = w.plan[w.pos]
+	}
 	return shm.Request{
 		Kind: shm.OpRead,
 		Addr: ModelBase + j,
@@ -268,7 +335,7 @@ func (w *worker) issueUpdate() (shm.Request, bool) {
 	return shm.Request{
 		Kind: shm.OpFAA,
 		Addr: ModelBase + j,
-		Val:  -w.alphaEff * w.g[j],
+		Val:  -w.alphaEff * w.nzv[w.pos-1],
 		Tag: contention.Tag{
 			Thread: w.id, Iter: w.iter, Role: contention.RoleUpdate,
 			Coord: j, First: first, Last: last,

@@ -63,6 +63,7 @@ var registry = []struct {
 	{"e12", "Extension (§8): explicit momentum under adversarial delay", E12Momentum},
 	{"e13", "Extension (§8/related work): staleness-aware scaling vs the adversary", E13StalenessAware},
 	{"e14", "Section 3: martingale (hitting) vs classic regret analyses", E14AnalysisStyles},
+	{"e15", "Sparse update pipeline: O(nnz) work and touched-coordinate contention", E15SparsePipeline},
 }
 
 // IDs returns the experiment ids in display order.

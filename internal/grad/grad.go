@@ -98,6 +98,12 @@ func (q *Quad1D) Constants() Constants {
 // CloneFor implements Oracle.
 func (q *Quad1D) CloneFor(int) Oracle { cp := *q; return &cp }
 
+// gradCoord implements the separability capability (coordOracle): the
+// stochastic gradient is x − σ·ũ in its only coordinate.
+func (q *Quad1D) gradCoord(_ int, xj float64, r *rng.Rand) float64 {
+	return xj - q.Sigma*r.Normal()
+}
+
 // Quadratic is the anisotropic strongly convex quadratic
 //
 //	f(x) = ½ Σ_j λ_j (x_j − x*_j)²
@@ -212,6 +218,13 @@ func (q *Quadratic) CloneFor(int) Oracle {
 	return &cp
 }
 
+// gradCoord implements the separability capability (coordOracle): the
+// quadratic's stochastic gradient is coordinate-wise, so entry j depends
+// on x_j alone.
+func (q *Quadratic) gradCoord(j int, xj float64, r *rng.Rand) float64 {
+	return q.Lambda[j]*(xj-q.XStar[j]) + q.Sigma*r.Normal()
+}
+
 // SingleCoordinate wraps an oracle so that each stochastic gradient has
 // exactly one non-zero entry while remaining unbiased: it samples a
 // uniform coordinate j and returns d·g̃(x)_j·e_j. This is the sparsity
@@ -223,7 +236,11 @@ func (q *Quadratic) CloneFor(int) Oracle {
 type SingleCoordinate struct {
 	Base Oracle
 
-	g vec.Dense // scratch
+	g       vec.Dense // gradient scratch
+	xbuf    vec.Dense // view scratch for the dense sparse-path fallback
+	planJ   int       // coordinate drawn by PlanSparse
+	support []int     // one-coordinate support scratch
+	full    []int     // 0..d-1, the dense-fallback read support
 }
 
 var _ Oracle = (*SingleCoordinate)(nil)

@@ -30,6 +30,9 @@ type MatrixFactorization struct {
 	vals    []float64 // observed values
 	planted vec.Dense // concatenated planted factors (diagnostics only)
 	maxAbs  float64   // max |M_ij| over observations
+
+	planK   int   // observation drawn by PlanSparse
+	support []int // 2r-coordinate support scratch
 }
 
 var _ Oracle = (*MatrixFactorization)(nil)
@@ -161,6 +164,7 @@ func (mf *MatrixFactorization) Constants() Constants {
 func (mf *MatrixFactorization) CloneFor(int) Oracle {
 	cp := *mf
 	cp.planted = mf.planted.Clone()
+	cp.support = nil // per-clone scratch; must not share backing arrays
 	return &cp
 }
 

@@ -1,0 +1,193 @@
+package grad
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"asyncsgd/internal/data"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+func sparseDataset(t *testing.T, d int, keep float64) *data.Dataset {
+	t.Helper()
+	gen := rng.New(71)
+	ds, err := data.GenLinear(data.LinearConfig{Samples: 6 * d, Dim: d, NoiseStd: 0.1}, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := data.SparsifyRows(ds, keep, gen); err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestSparseLeastSquaresMatchesDenseOracle(t *testing.T) {
+	ds := sparseDataset(t, 12, 0.4)
+	sls, err := NewSparseLeastSquares(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dense, err := NewLeastSquares(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := vec.Constant(12, 0.3)
+	if v1, v2 := sls.Value(x), dense.Value(x); math.Abs(v1-v2) > 1e-12 {
+		t.Errorf("Value: sparse %v vs dense %v", v1, v2)
+	}
+	g1, g2 := vec.NewDense(12), vec.NewDense(12)
+	sls.FullGrad(g1, x)
+	dense.FullGrad(g2, x)
+	if !vec.ApproxEqual(g1, g2, 1e-12) {
+		t.Errorf("FullGrad: %v vs %v", g1, g2)
+	}
+	if !vec.ApproxEqual(sls.Optimum(), dense.Optimum(), 1e-12) {
+		t.Error("optima differ")
+	}
+	c1, c2 := sls.Constants(), dense.Constants()
+	if c1 != c2 {
+		t.Errorf("constants: %+v vs %+v", c1, c2)
+	}
+}
+
+// TestSparseGradAgreesWithDenseGrad checks the two-phase sparse protocol
+// against the dense Grad path for oracles where both consume the stream
+// identically (row/entry draw first).
+func TestSparseGradAgreesWithDenseGrad(t *testing.T) {
+	ds := sparseDataset(t, 10, 0.5)
+	sls, err := NewSparseLeastSquares(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := NewMatrixFactorization(MFConfig{M: 6, N: 5, Rank: 2, ObserveProb: 0.5}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, o := range map[string]SparseOracle{"sls": sls, "mf": mf} {
+		d := o.Dim()
+		x := vec.NewDense(d)
+		rng.New(9).NormalVector(x, 0.5)
+		gd := vec.NewDense(d)
+		var gs vec.Sparse
+		for trial := 0; trial < 20; trial++ {
+			seed := uint64(100 + trial)
+			o.Grad(gd, x, rng.New(seed))
+			if _, err := GradSparseVia(&gs, o, x, rng.New(seed), nil); err != nil {
+				t.Fatal(err)
+			}
+			if !gs.IsSorted() {
+				t.Fatalf("%s: sparse gradient indices not sorted: %v", name, gs.Indices)
+			}
+			if !vec.ApproxEqual(gs.ToDense(), gd, 1e-12) {
+				t.Errorf("%s trial %d: sparse %v vs dense %v", name, trial, gs.ToDense(), gd)
+			}
+		}
+	}
+}
+
+func TestSingleCoordinateSparseSeparable(t *testing.T) {
+	// σ = 0 makes the quadratic's stochastic gradient deterministic given
+	// the drawn coordinate, so the sparse path can be checked analytically.
+	q, err := NewIsoQuadratic(8, 2, 0, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSingleCoordinate(q)
+	x := vec.Constant(8, 0.5)
+	r := rng.New(5)
+	var g vec.Sparse
+	for trial := 0; trial < 10; trial++ {
+		support := sc.PlanSparse(r)
+		if len(support) != 1 {
+			t.Fatalf("separable base: read support %v, want one coordinate", support)
+		}
+		vals, err := vec.GatherFrom(nil, x, support)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.GradSparseAt(&g, vals, r)
+		if g.NNZ() != 1 || g.Indices[0] != support[0] {
+			t.Fatalf("sparse gradient %+v for support %v", g, support)
+		}
+		want := 8 * 2 * 0.5 // d·λ·(x_j − 0)
+		if math.Abs(g.Values[0]-want) > 1e-12 {
+			t.Errorf("value %v, want %v", g.Values[0], want)
+		}
+	}
+}
+
+func TestSingleCoordinateSparseFallback(t *testing.T) {
+	// A data-driven base is not separable: the read support must be the
+	// full coordinate range, the write support still a single coordinate.
+	ds := sparseDataset(t, 6, 0.8)
+	base, err := NewLeastSquares(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSingleCoordinate(base)
+	r := rng.New(11)
+	support := sc.PlanSparse(r)
+	if len(support) != 6 {
+		t.Fatalf("fallback read support %v, want all 6 coordinates", support)
+	}
+	x := vec.Constant(6, 0.2)
+	vals, err := vec.GatherFrom(nil, x, support)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var g vec.Sparse
+	sc.GradSparseAt(&g, vals, r)
+	if g.NNZ() > 1 {
+		t.Errorf("write support %v, want at most one coordinate", g.Indices)
+	}
+}
+
+func TestAsSparse(t *testing.T) {
+	q, err := NewIsoQuadratic(4, 1, 0.1, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsSparse(q); ok {
+		t.Error("dense quadratic reported sparse capability")
+	}
+	if _, ok := AsSparse(NewSingleCoordinate(q)); !ok {
+		t.Error("SingleCoordinate lost sparse capability")
+	}
+	mf, err := NewMatrixFactorization(MFConfig{M: 4, N: 4, Rank: 1, ObserveProb: 0.9}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsSparse(mf); !ok {
+		t.Error("MatrixFactorization lost sparse capability")
+	}
+	if _, ok := AsSparse(mf.CloneFor(1)); !ok {
+		t.Error("clone lost sparse capability")
+	}
+}
+
+func TestGradSparseViaBadSupport(t *testing.T) {
+	// An oracle announcing an out-of-range support must surface
+	// ErrDimMismatch through the gather step.
+	bad := badSupportOracle{}
+	var g vec.Sparse
+	if _, err := GradSparseVia(&g, bad, vec.NewDense(3), rng.New(1), nil); !errors.Is(err, vec.ErrDimMismatch) {
+		t.Errorf("err = %v, want ErrDimMismatch", err)
+	}
+}
+
+// badSupportOracle announces a support outside its dimension.
+type badSupportOracle struct{}
+
+func (badSupportOracle) Dim() int                           { return 3 }
+func (badSupportOracle) Value(vec.Dense) float64            { return 0 }
+func (badSupportOracle) FullGrad(dst, _ vec.Dense)          { dst.Zero() }
+func (badSupportOracle) Grad(dst, _ vec.Dense, _ *rng.Rand) { dst.Zero() }
+func (badSupportOracle) Optimum() vec.Dense                 { return vec.NewDense(3) }
+func (badSupportOracle) Constants() Constants               { return Constants{C: 1, L: 1, M2: 1, R: 1} }
+func (b badSupportOracle) CloneFor(int) Oracle              { return b }
+func (badSupportOracle) PlanSparse(*rng.Rand) []int         { return []int{7} }
+func (badSupportOracle) GradSparseAt(dst *vec.Sparse, _ []float64, _ *rng.Rand) {
+	dst.Reset(3)
+}

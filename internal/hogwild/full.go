@@ -21,7 +21,8 @@ type FullConfig struct {
 	Oracle        grad.Oracle
 	Seed          uint64
 	Mode          Mode
-	Epochs        int // 0 ⇒ the Corollary-7.1 count ⌈log₂(α²Mn/√ε)⌉
+	Strategy      Strategy // optional; overrides Mode (re-Bind-ed every epoch)
+	Epochs        int      // 0 ⇒ the Corollary-7.1 count ⌈log₂(α²Mn/√ε)⌉
 }
 
 // FullResult is the outcome of the real-thread Algorithm 2.
@@ -58,6 +59,7 @@ func RunFull(cfg FullConfig) (*FullResult, error) {
 			Oracle:     cfg.Oracle,
 			Seed:       cfg.Seed + uint64(e)*0x9E3779B9,
 			Mode:       cfg.Mode,
+			Strategy:   cfg.Strategy,
 			X0:         x,
 		})
 		if err != nil {

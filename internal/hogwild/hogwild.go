@@ -1,14 +1,17 @@
 // Package hogwild is the real-thread counterpart of internal/core: the
 // same lock-free Algorithm 1 executed by actual goroutines over an atomic
 // float vector (CAS-emulated fetch&add), plus the coarse-lock baseline the
-// paper contrasts it with (Langford et al.'s consistent locking) and a
-// sharded per-coordinate-lock middle ground.
+// paper contrasts it with (Langford et al.'s consistent locking), a
+// striped-lock middle ground, and a sparse-aware lock-free path that does
+// O(nnz) shared-memory operations per iteration.
 //
-// The discrete simulator (internal/core) is the vehicle for the paper's
-// worst-case claims — a real scheduler cannot be made adversarial — while
-// this package demonstrates the §8 practical story: throughput and
-// convergence under OS scheduling. On a single-core host the numbers show
-// shape only; EXPERIMENTS.md records that caveat.
+// The synchronization discipline is a pluggable Strategy (see strategy.go);
+// the legacy Mode enum maps onto the built-in strategies. The discrete
+// simulator (internal/core) is the vehicle for the paper's worst-case
+// claims — a real scheduler cannot be made adversarial — while this
+// package demonstrates the §8 practical story: throughput and convergence
+// under OS scheduling. On a single-core host the numbers show shape only;
+// EXPERIMENTS.md records that caveat.
 package hogwild
 
 import (
@@ -24,7 +27,9 @@ import (
 	"asyncsgd/internal/vec"
 )
 
-// Mode selects the synchronization discipline.
+// Mode selects a built-in synchronization discipline. It predates the
+// Strategy interface and is kept as the concise way to pick one of the
+// standard disciplines; Config.Strategy overrides it.
 type Mode uint8
 
 // Synchronization modes.
@@ -35,9 +40,15 @@ const (
 	// consistent baseline of Langford et al. the paper's introduction
 	// discusses).
 	CoarseLock
-	// ShardedLock guards each coordinate with its own mutex: consistent
-	// per-coordinate access, inconsistent views — an intermediate design.
+	// ShardedLock guards coordinates with a striped lock table:
+	// consistent per-coordinate access, inconsistent views — an
+	// intermediate design. (Historically one mutex per coordinate; now
+	// backed by the configurable striped-lock strategy.)
 	ShardedLock
+	// SparseLockFree is the sparse-aware Algorithm 1: the oracle
+	// announces each gradient's support and the runtime touches only
+	// those coordinates. Requires a grad.SparseOracle.
+	SparseLockFree
 )
 
 // String names the mode.
@@ -49,6 +60,8 @@ func (m Mode) String() string {
 		return "coarse-lock"
 	case ShardedLock:
 		return "sharded-lock"
+	case SparseLockFree:
+		return "sparse-lock-free"
 	default:
 		return fmt.Sprintf("Mode(%d)", uint8(m))
 	}
@@ -62,8 +75,15 @@ type Config struct {
 	Oracle     grad.Oracle
 	Seed       uint64
 	Mode       Mode
-	Padded     bool      // cache-line-pad the atomic vector (LockFree only)
-	X0         vec.Dense // nil ⇒ zeros
+	// Strategy overrides Mode with a custom synchronization discipline.
+	// The value is Bind-ed by Run and must not be shared by concurrent
+	// runs.
+	Strategy Strategy
+	// Stripes sets the lock-table size for Mode ShardedLock
+	// (0 ⇒ min(d, DefaultStripes)). Ignored when Strategy is set.
+	Stripes int
+	Padded  bool      // cache-line-pad the atomic vector (lock-free strategies)
+	X0      vec.Dense // nil ⇒ zeros
 	// SampleStaleness enables the staleness probe: each iteration records
 	// how many iterations were claimed between its view snapshot and its
 	// last update (an online proxy for interval contention).
@@ -72,25 +92,30 @@ type Config struct {
 
 // Result is the outcome of a run.
 type Result struct {
-	Final         vec.Dense
+	Final vec.Dense
+	// Iters is the number of iterations that actually completed their
+	// updates (not the counter's final value: workers over-claim by one
+	// each when racing for the last iterations).
 	Iters         int
+	Strategy      string // name of the strategy that executed the run
 	Elapsed       time.Duration
 	UpdatesPerSec float64
-	MaxStaleness  int     // max probe value (SampleStaleness)
-	AvgStaleness  float64 // mean probe value (SampleStaleness)
+	// CoordOps is the total number of shared model-coordinate accesses
+	// (view reads plus update writes) across all iterations — O(T·d) on
+	// the dense paths, O(T·nnz) on the sparse path.
+	CoordOps     int64
+	MaxStaleness int     // max probe value (SampleStaleness)
+	AvgStaleness float64 // mean probe value (SampleStaleness)
 }
 
 // ErrBadConfig reports invalid parameters.
 var ErrBadConfig = errors.New("hogwild: invalid configuration")
 
 // Run executes the configured parallel SGD to completion and reports
-// timing and staleness statistics.
+// timing, work and staleness statistics.
 func Run(cfg Config) (*Result, error) {
 	if cfg.Workers <= 0 || cfg.TotalIters <= 0 || cfg.Alpha <= 0 || cfg.Oracle == nil {
 		return nil, fmt.Errorf("%w: %+v", ErrBadConfig, cfg)
-	}
-	if cfg.Mode == 0 {
-		cfg.Mode = LockFree
 	}
 	d := cfg.Oracle.Dim()
 	x0 := cfg.X0
@@ -101,6 +126,22 @@ func Run(cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("%w: X0 dim %d vs oracle %d", ErrBadConfig, x0.Dim(), d)
 	}
 
+	strat := cfg.Strategy
+	if strat == nil {
+		mode := cfg.Mode
+		if mode == 0 {
+			mode = LockFree
+		}
+		if mode == ShardedLock && cfg.Stripes != 0 {
+			strat = NewStripedLock(cfg.Stripes)
+		} else {
+			var err error
+			if strat, err = StrategyFor(mode, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+
 	var model *atomicfloat.Vector
 	if cfg.Padded {
 		model = atomicfloat.NewPaddedVector(d)
@@ -108,85 +149,69 @@ func Run(cfg Config) (*Result, error) {
 		model = atomicfloat.NewVector(d)
 	}
 	model.StoreAll(x0)
+	if err := strat.Bind(model, cfg.Alpha); err != nil {
+		return nil, err
+	}
+
+	// Build every stepper before launching so a capability mismatch
+	// (e.g. sparse strategy over a dense-only oracle) fails fast.
+	steppers := make([]Stepper, cfg.Workers)
+	for w := 0; w < cfg.Workers; w++ {
+		st, err := strat.NewStepper(w, cfg.Oracle.CloneFor(w), rng.NewStream(cfg.Seed, uint64(w)+1))
+		if err != nil {
+			return nil, fmt.Errorf("worker %d: %w", w, err)
+		}
+		steppers[w] = st
+	}
 
 	var (
-		counter  atomic.Int64
-		mu       sync.Mutex   // CoarseLock
-		shards   []sync.Mutex // ShardedLock
+		counter  atomic.Int64 // iteration claims (over-claims by one per finishing worker)
+		done     atomic.Int64 // iterations that completed their updates
+		coordOps atomic.Int64
 		staleSum atomic.Int64
 		staleMax atomic.Int64
 		staleN   atomic.Int64
 	)
-	if cfg.Mode == ShardedLock {
-		shards = make([]sync.Mutex, d)
-	}
+	total := int64(cfg.TotalIters)
 
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func(id int) {
+		go func(st Stepper) {
 			defer wg.Done()
-			oracle := cfg.Oracle.CloneFor(id)
-			r := rng.NewStream(cfg.Seed, uint64(id)+1)
-			view := vec.NewDense(d)
-			g := vec.NewDense(d)
+			var ops int64
 			for {
 				claimed := counter.Add(1) - 1
-				if claimed >= int64(cfg.TotalIters) {
+				if claimed >= total {
+					coordOps.Add(ops)
 					return
 				}
-				switch cfg.Mode {
-				case CoarseLock:
-					mu.Lock()
-					model.Snapshot(view)
-					oracle.Grad(g, view, r)
-					for j := 0; j < d; j++ {
-						if g[j] != 0 {
-							model.Store(j, model.Load(j)-cfg.Alpha*g[j])
-						}
-					}
-					mu.Unlock()
-				case ShardedLock:
-					for j := 0; j < d; j++ {
-						shards[j].Lock()
-						view[j] = model.Load(j)
-						shards[j].Unlock()
-					}
-					oracle.Grad(g, view, r)
-					for j := 0; j < d; j++ {
-						if g[j] == 0 {
-							continue
-						}
-						shards[j].Lock()
-						model.Store(j, model.Load(j)-cfg.Alpha*g[j])
-						shards[j].Unlock()
-					}
-				default: // LockFree: Algorithm 1 verbatim
-					model.Snapshot(view)
-					oracle.Grad(g, view, r)
-					for j := 0; j < d; j++ {
-						if g[j] != 0 {
-							model.FetchAdd(j, -cfg.Alpha*g[j])
-						}
-					}
-				}
+				ops += int64(st.Step())
+				done.Add(1)
 				if cfg.SampleStaleness {
-					span := counter.Load() - claimed - 1
+					// Claims past the budget are workers exiting, not SGD
+					// iterations; capping at the budget keeps the probe a
+					// count of concurrent iterations only.
+					cur := counter.Load()
+					if cur > total {
+						cur = total
+					}
+					span := cur - claimed - 1
 					if span < 0 {
 						span = 0
 					}
 					staleSum.Add(span)
 					staleN.Add(1)
 					for {
-						cur := staleMax.Load()
-						if span <= cur || staleMax.CompareAndSwap(cur, span) {
+						m := staleMax.Load()
+						if span <= m || staleMax.CompareAndSwap(m, span) {
 							break
 						}
 					}
 				}
 			}
-		}(w)
+		}(steppers[w])
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -194,12 +219,14 @@ func Run(cfg Config) (*Result, error) {
 	final := vec.NewDense(d)
 	model.Snapshot(final)
 	res := &Result{
-		Final:   final,
-		Iters:   cfg.TotalIters,
-		Elapsed: elapsed,
+		Final:    final,
+		Iters:    int(done.Load()),
+		Strategy: strat.Name(),
+		Elapsed:  elapsed,
+		CoordOps: coordOps.Load(),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
-		res.UpdatesPerSec = float64(cfg.TotalIters) / secs
+		res.UpdatesPerSec = float64(res.Iters) / secs
 	}
 	if n := staleN.Load(); n > 0 {
 		res.AvgStaleness = float64(staleSum.Load()) / float64(n)

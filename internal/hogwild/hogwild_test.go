@@ -142,7 +142,8 @@ func TestSingleWorkerMatchesSequential(t *testing.T) {
 func TestModeString(t *testing.T) {
 	for m, want := range map[Mode]string{
 		LockFree: "lock-free", CoarseLock: "coarse-lock",
-		ShardedLock: "sharded-lock", Mode(9): "Mode(9)",
+		ShardedLock: "sharded-lock", SparseLockFree: "sparse-lock-free",
+		Mode(9): "Mode(9)",
 	} {
 		if got := m.String(); got != want {
 			t.Errorf("String(%d) = %q, want %q", m, got, want)

@@ -1,0 +1,297 @@
+package hogwild
+
+import (
+	"fmt"
+	"sync"
+
+	"asyncsgd/internal/atomicfloat"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// Strategy is the pluggable synchronization discipline of the real-thread
+// runtime. It replaces the monolithic mode switch that used to live in
+// Run: a strategy owns the run-wide shared state of its discipline (lock
+// tables, nothing for lock-free) and stamps out one Stepper per worker
+// goroutine. New disciplines — batched application, epoch fencing,
+// bounded-staleness gates — plug in here without touching Run.
+//
+// Lifecycle: Run calls Bind exactly once before launching workers, then
+// NewStepper once per worker from the launching goroutine. A Strategy
+// value may be reused across sequential runs (Bind re-initializes all
+// shared state) but never across concurrent ones.
+type Strategy interface {
+	// Name labels the strategy in results, reports and benchmarks.
+	Name() string
+	// Bind attaches the strategy to a run's shared model and step size,
+	// (re)initializing all run-wide state.
+	Bind(model *atomicfloat.Vector, alpha float64) error
+	// NewStepper returns the iteration body for one worker. The stepper
+	// is used only from that worker's goroutine.
+	NewStepper(id int, oracle grad.Oracle, r *rng.Rand) (Stepper, error)
+}
+
+// Stepper executes SGD iterations for a single worker goroutine.
+type Stepper interface {
+	// Step runs one complete SGD iteration (view → gradient → apply) and
+	// returns the number of shared model-coordinate accesses it performed
+	// (reads plus writes) — the quantity the sparse pipeline shrinks from
+	// O(d) to O(nnz).
+	Step() int
+}
+
+// StrategyFor returns the built-in strategy for a legacy Mode value.
+// ShardedLock maps to a striped-lock table with min(d, DefaultStripes)
+// stripes — per-coordinate locking for the model sizes the experiments
+// use, bounded table size beyond that.
+func StrategyFor(mode Mode, d int) (Strategy, error) {
+	switch mode {
+	case LockFree:
+		return NewLockFree(), nil
+	case CoarseLock:
+		return NewCoarseLock(), nil
+	case ShardedLock:
+		stripes := d
+		if stripes > DefaultStripes {
+			stripes = DefaultStripes
+		}
+		return NewStripedLock(stripes), nil
+	case SparseLockFree:
+		return NewSparseLockFree(), nil
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %v", ErrBadConfig, mode)
+	}
+}
+
+// DefaultStripes caps the lock table of the ShardedLock compatibility
+// mapping (and is the default for NewStripedLock(0)).
+const DefaultStripes = 256
+
+// --- lock-free -------------------------------------------------------------
+
+// lockFree is Algorithm 1 verbatim: snapshot an inconsistent view, apply
+// non-zero gradient coordinates with atomic fetch&add.
+type lockFree struct {
+	model *atomicfloat.Vector
+	alpha float64
+}
+
+// NewLockFree returns the Algorithm-1 lock-free strategy.
+func NewLockFree() Strategy { return &lockFree{} }
+
+func (s *lockFree) Name() string { return "lock-free" }
+
+func (s *lockFree) Bind(model *atomicfloat.Vector, alpha float64) error {
+	s.model, s.alpha = model, alpha
+	return nil
+}
+
+func (s *lockFree) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	d := s.model.Dim()
+	return &lockFreeStepper{
+		s: s, oracle: oracle, r: r,
+		view: vec.NewDense(d), g: vec.NewDense(d),
+	}, nil
+}
+
+type lockFreeStepper struct {
+	s      *lockFree
+	oracle grad.Oracle
+	r      *rng.Rand
+	view   vec.Dense
+	g      vec.Dense
+}
+
+func (w *lockFreeStepper) Step() int {
+	m := w.s.model
+	m.Snapshot(w.view)
+	w.oracle.Grad(w.g, w.view, w.r)
+	ops := len(w.view)
+	for j, gj := range w.g {
+		if gj != 0 {
+			m.FetchAdd(j, -w.s.alpha*gj)
+			ops++
+		}
+	}
+	return ops
+}
+
+// --- coarse lock -----------------------------------------------------------
+
+// coarseLock serializes whole iterations under one mutex — the consistent
+// baseline of Langford et al. the paper's introduction contrasts with.
+type coarseLock struct {
+	model *atomicfloat.Vector
+	alpha float64
+	mu    sync.Mutex
+}
+
+// NewCoarseLock returns the consistent coarse-locking baseline strategy.
+func NewCoarseLock() Strategy { return &coarseLock{} }
+
+func (s *coarseLock) Name() string { return "coarse-lock" }
+
+func (s *coarseLock) Bind(model *atomicfloat.Vector, alpha float64) error {
+	s.model, s.alpha = model, alpha
+	s.mu = sync.Mutex{}
+	return nil
+}
+
+func (s *coarseLock) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	d := s.model.Dim()
+	return &coarseLockStepper{
+		s: s, oracle: oracle, r: r,
+		view: vec.NewDense(d), g: vec.NewDense(d),
+	}, nil
+}
+
+type coarseLockStepper struct {
+	s      *coarseLock
+	oracle grad.Oracle
+	r      *rng.Rand
+	view   vec.Dense
+	g      vec.Dense
+}
+
+func (w *coarseLockStepper) Step() int {
+	s := w.s
+	s.mu.Lock()
+	s.model.Snapshot(w.view)
+	w.oracle.Grad(w.g, w.view, w.r)
+	ops := len(w.view)
+	for j, gj := range w.g {
+		if gj != 0 {
+			s.model.Store(j, s.model.Load(j)-s.alpha*gj)
+			ops++
+		}
+	}
+	s.mu.Unlock()
+	return ops
+}
+
+// --- striped lock ----------------------------------------------------------
+
+// stripedLock guards coordinates with a fixed table of lock stripes
+// (coordinate j maps to stripe j mod stripes): consistent per-coordinate
+// access, inconsistent cross-coordinate views. With stripes ≥ d it is the
+// old per-coordinate ShardedLock; smaller tables trade contention for
+// memory — one mutex per coordinate at d = 10⁶ is not a real design.
+type stripedLock struct {
+	model   *atomicfloat.Vector
+	alpha   float64
+	stripes []sync.Mutex
+	n       int
+}
+
+// NewStripedLock returns the striped-locking strategy with the given
+// stripe count (0 ⇒ DefaultStripes; negative is rejected at Bind).
+func NewStripedLock(stripes int) Strategy { return &stripedLock{n: stripes} }
+
+func (s *stripedLock) Name() string { return "striped-lock" }
+
+func (s *stripedLock) Bind(model *atomicfloat.Vector, alpha float64) error {
+	if s.n == 0 {
+		s.n = DefaultStripes
+	}
+	if s.n < 0 {
+		return fmt.Errorf("%w: stripe count %d", ErrBadConfig, s.n)
+	}
+	s.model, s.alpha = model, alpha
+	s.stripes = make([]sync.Mutex, s.n)
+	return nil
+}
+
+func (s *stripedLock) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	d := s.model.Dim()
+	return &stripedLockStepper{
+		s: s, oracle: oracle, r: r,
+		view: vec.NewDense(d), g: vec.NewDense(d),
+	}, nil
+}
+
+type stripedLockStepper struct {
+	s      *stripedLock
+	oracle grad.Oracle
+	r      *rng.Rand
+	view   vec.Dense
+	g      vec.Dense
+}
+
+func (w *stripedLockStepper) Step() int {
+	s := w.s
+	for j := range w.view {
+		mu := &s.stripes[j%s.n]
+		mu.Lock()
+		w.view[j] = s.model.Load(j)
+		mu.Unlock()
+	}
+	w.oracle.Grad(w.g, w.view, w.r)
+	ops := len(w.view)
+	for j, gj := range w.g {
+		if gj == 0 {
+			continue
+		}
+		mu := &s.stripes[j%s.n]
+		mu.Lock()
+		s.model.Store(j, s.model.Load(j)-s.alpha*gj)
+		mu.Unlock()
+		ops++
+	}
+	return ops
+}
+
+// --- sparse lock-free ------------------------------------------------------
+
+// sparseLockFree is the sparse-aware Algorithm 1: the oracle announces
+// the coordinates the sampled gradient reads (PlanSparse), the stepper
+// loads exactly those, and the update fetch&adds only the gradient's
+// non-zeros. Per iteration that is O(|support| + nnz) shared-memory
+// operations instead of the dense path's O(d) — on sparse workloads the
+// difference between scanning the model and touching it.
+type sparseLockFree struct {
+	model *atomicfloat.Vector
+	alpha float64
+}
+
+// NewSparseLockFree returns the sparse-aware lock-free strategy. Its
+// steppers require an oracle with the grad.SparseOracle capability.
+func NewSparseLockFree() Strategy { return &sparseLockFree{} }
+
+func (s *sparseLockFree) Name() string { return "sparse-lock-free" }
+
+func (s *sparseLockFree) Bind(model *atomicfloat.Vector, alpha float64) error {
+	s.model, s.alpha = model, alpha
+	return nil
+}
+
+func (s *sparseLockFree) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	so, ok := grad.AsSparse(oracle)
+	if !ok {
+		return nil, fmt.Errorf("%w: %s strategy needs a grad.SparseOracle (got %T)",
+			ErrBadConfig, s.Name(), oracle)
+	}
+	return &sparseStepper{s: s, oracle: so, r: r}, nil
+}
+
+type sparseStepper struct {
+	s      *sparseLockFree
+	oracle grad.SparseOracle
+	r      *rng.Rand
+	vals   []float64  // gathered support values (reused)
+	g      vec.Sparse // sparse gradient (reused)
+}
+
+func (w *sparseStepper) Step() int {
+	s := w.s
+	support := w.oracle.PlanSparse(w.r)
+	w.vals = w.vals[:0]
+	for _, j := range support {
+		w.vals = append(w.vals, s.model.Load(j))
+	}
+	w.oracle.GradSparseAt(&w.g, w.vals, w.r)
+	for k, j := range w.g.Indices {
+		s.model.FetchAdd(j, -s.alpha*w.g.Values[k])
+	}
+	return len(support) + w.g.NNZ()
+}

@@ -76,6 +76,69 @@ func (s Sparse) ToDense() Dense {
 // NNZ returns the number of stored (non-zero) entries.
 func (s Sparse) NNZ() int { return len(s.Indices) }
 
+// Reset clears s to an empty vector of dimension d, keeping the backing
+// arrays. It is the entry point of the allocation-free hot path: a worker
+// owns one Sparse and Reset/Append-s into it every iteration.
+func (s *Sparse) Reset(d int) {
+	s.Dim = d
+	s.Indices = s.Indices[:0]
+	s.Values = s.Values[:0]
+}
+
+// Append adds entry (i, v) to s without allocation once capacity has
+// grown. Zero values are dropped. Callers on the hot path must append in
+// strictly increasing index order (the invariant every Sparse consumer
+// assumes); Append does not re-sort.
+func (s *Sparse) Append(i int, v float64) {
+	if v == 0 {
+		return
+	}
+	s.Indices = append(s.Indices, i)
+	s.Values = append(s.Values, v)
+}
+
+// CopyFrom replaces s's contents with src, reusing s's backing arrays.
+func (s *Sparse) CopyFrom(src Sparse) {
+	s.Reset(src.Dim)
+	s.Indices = append(s.Indices, src.Indices...)
+	s.Values = append(s.Values, src.Values...)
+}
+
+// Clone returns a deep copy of s.
+func (s Sparse) Clone() Sparse {
+	return Sparse{
+		Dim:     s.Dim,
+		Indices: append([]int(nil), s.Indices...),
+		Values:  append([]float64(nil), s.Values...),
+	}
+}
+
+// IsSorted reports whether the indices are strictly increasing (the
+// invariant Append-built vectors must maintain).
+func (s Sparse) IsSorted() bool {
+	for k := 1; k < len(s.Indices); k++ {
+		if s.Indices[k-1] >= s.Indices[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// GatherFrom fills dst[k] = x[support[k]] for a dense source, reusing
+// dst's capacity. It is the sparse view-assembly primitive: O(|support|)
+// instead of an O(d) snapshot.
+func GatherFrom(dst []float64, x Dense, support []int) ([]float64, error) {
+	dst = dst[:0]
+	for _, i := range support {
+		if i < 0 || i >= len(x) {
+			return dst, fmt.Errorf("gather index %d out of range [0,%d): %w",
+				i, len(x), ErrDimMismatch)
+		}
+		dst = append(dst, x[i])
+	}
+	return dst, nil
+}
+
 // At returns the entry at index i (0 if not stored).
 func (s Sparse) At(i int) float64 {
 	k := sort.SearchInts(s.Indices, i)
