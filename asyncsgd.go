@@ -10,7 +10,7 @@
 //   - the martingale analysis toolkit (rate supermartingales, the failure
 //     probability bounds of Theorems 3.1/6.3/6.5 and Corollary 6.7, and
 //     the Section-5 lower-bound closed forms), and
-//   - the experiment drivers (E1–E10) that regenerate every quantitative
+//   - the experiment drivers (E1–E16) that regenerate every quantitative
 //     claim in the paper.
 //
 // This package is a facade: it re-exports the stable API surface of the
@@ -245,6 +245,33 @@ func NewStripedLockStrategy(stripes int) Strategy { return hogwild.NewStripedLoc
 // iteration).
 func NewSparseLockFreeStrategy() Strategy { return hogwild.NewSparseLockFree() }
 
+// StalenessBounded is implemented by strategies that enforce a staleness
+// bound τ and expose the largest staleness any iteration actually
+// exhibited (guaranteed ≤ τ).
+type StalenessBounded = hogwild.StalenessBounded
+
+// NewBoundedStalenessStrategy returns the bounded-staleness gated
+// strategy: no iteration may begin while any iteration more than tau
+// tickets older is still in flight, so the maximum delay τ the paper's
+// Section-5 adversary exploits is capped at tau by construction. The
+// returned strategy implements StalenessBounded. On the simulated
+// machine, EpochConfig.StalenessBound is the counterpart.
+func NewBoundedStalenessStrategy(tau int) Strategy { return hogwild.NewBoundedStaleness(tau) }
+
+// NewUpdateBatchingStrategy returns the update-batching strategy: each
+// worker accumulates b gradients in a local sparse buffer and applies
+// them in one scatter fetch&add pass, cutting shared-memory write traffic
+// ~b×. On the simulated machine, EpochConfig.Batch is the counterpart.
+func NewUpdateBatchingStrategy(b int) Strategy { return hogwild.NewUpdateBatching(b) }
+
+// NewEpochFenceStrategy returns the epoch-fencing strategy: iterations
+// are fenced into epochs of the given length, and an epoch may start only
+// once every earlier epoch's updates are fully applied — consistent
+// snapshots at epoch boundaries, FullSGD's per-epoch-model condition
+// inside a single run. On the simulated machine, EpochConfig.FenceEvery
+// is the counterpart.
+func NewEpochFenceStrategy(every int) Strategy { return hogwild.NewEpochFence(every) }
+
 // RunParallel executes lock-free (or lock-based) SGD on real goroutines.
 func RunParallel(cfg ParallelConfig) (*ParallelResult, error) { return hogwild.Run(cfg) }
 
@@ -291,7 +318,7 @@ const (
 	FullScale = experiments.Full
 )
 
-// ExperimentIDs lists the available experiments (e1..e10).
+// ExperimentIDs lists the available experiments (e1..e16).
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment executes one experiment and writes its tables to w.

@@ -85,6 +85,10 @@ func BenchmarkE13StalenessAware(b *testing.B) { benchExperiment(b, "e13") }
 // pipeline comparison (O(nnz) work, touched-coordinate contention).
 func BenchmarkE15SparsePipeline(b *testing.B) { benchExperiment(b, "e15") }
 
+// BenchmarkE16StalenessGate regenerates the staleness-gate experiment
+// (capping the Section-5 adversary's τ at runtime).
+func BenchmarkE16StalenessGate(b *testing.B) { benchExperiment(b, "e16") }
+
 // --- substrate microbenchmarks -------------------------------------------
 
 // BenchmarkMachineStep measures the simulated shared-memory machine's cost
@@ -239,6 +243,67 @@ func BenchmarkSparseVsDense(b *testing.B) {
 			}
 			b.ReportMetric(float64(coordOps)/float64(iters), "coord_ops/iter")
 		})
+	}
+}
+
+// BenchmarkBatchingVsLockFree compares end-to-end throughput of the
+// plain lock-free strategy against update batching across batch sizes:
+// batching trades per-update freshness for ~b× less shared write traffic,
+// so updates/sec and coord_ops/iter move together. Both dense (snapshot
+// reads dominate) and sparse (writes dominate) workloads are measured —
+// the sparse case is where batching's traffic cut shows up as throughput.
+func BenchmarkBatchingVsLockFree(b *testing.B) {
+	gen := rng.New(808)
+	const d = 256
+	ds, err := data.GenLinear(data.LinearConfig{Samples: 4 * d, Dim: d, NoiseStd: 0.05}, gen)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := data.SparsifyRows(ds, 0.05, gen); err != nil {
+		b.Fatal(err)
+	}
+	sls, err := grad.NewSparseLeastSquares(ds, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	quad, err := grad.NewIsoQuadratic(64, 1, 0.3, 3, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	workloads := []struct {
+		name   string
+		oracle grad.Oracle
+		alpha  float64
+	}{
+		{"dense64", quad, 0.02},
+		{"sparse256", sls, 0.5 / sls.Constants().L},
+	}
+	strategies := []struct {
+		name string
+		mk   func() hogwild.Strategy
+	}{
+		{"lock-free", hogwild.NewLockFree},
+		{"batch8", func() hogwild.Strategy { return hogwild.NewUpdateBatching(8) }},
+		{"batch64", func() hogwild.Strategy { return hogwild.NewUpdateBatching(64) }},
+	}
+	for _, wl := range workloads {
+		for _, st := range strategies {
+			b.Run(wl.name+"/"+st.name, func(b *testing.B) {
+				var coordOps, iters int64
+				for i := 0; i < b.N; i++ {
+					res, err := hogwild.Run(hogwild.Config{
+						Workers: 4, TotalIters: 20000, Alpha: wl.alpha,
+						Oracle: wl.oracle, Seed: uint64(i), Strategy: st.mk(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					coordOps += res.CoordOps
+					iters += int64(res.Iters)
+				}
+				b.ReportMetric(float64(coordOps)/float64(iters), "coord_ops/iter")
+			})
+		}
 	}
 }
 

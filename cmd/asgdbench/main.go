@@ -1,5 +1,5 @@
 // Command asgdbench regenerates the paper's quantitative results. Each
-// experiment id (e1..e15) maps to one theorem, lemma, figure, discussion
+// experiment id (e1..e16) maps to one theorem, lemma, figure, discussion
 // point or runtime claim; see DESIGN.md §3 for the index.
 //
 // Usage:
@@ -7,6 +7,7 @@
 //	asgdbench -exp all -scale quick
 //	asgdbench -exp e5 -scale full
 //	asgdbench -exp e15 -scale full   # sparse vs dense update pipeline
+//	asgdbench -exp e16 -scale full   # bounded-staleness gate vs the adversary
 package main
 
 import (
@@ -27,7 +28,7 @@ func main() {
 
 func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("asgdbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e15), comma list, or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e16), comma list, or 'all'")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	list := fs.Bool("list", false, "list experiments and exit")
 	if err := fs.Parse(args); err != nil {

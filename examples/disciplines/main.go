@@ -1,0 +1,87 @@
+// Disciplines: run the three synchronization disciplines — the
+// bounded-staleness gate (the knob that caps the delay τ the paper's
+// Section-5 adversary exploits), update batching (~b× less shared write
+// traffic), and epoch fencing (consistent snapshots at epoch boundaries)
+// — side by side with plain lock-free SGD, on real goroutines and on the
+// adversarial simulated machine.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"asyncsgd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "disciplines:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	oracle, err := asyncsgd.NewIsoQuadratic(16, 1, 0.3, 3, nil)
+	if err != nil {
+		return err
+	}
+	x0 := asyncsgd.NewDense(16)
+	for i := range x0 {
+		x0[i] = 0.5
+	}
+
+	fmt.Println("real goroutines, 4 workers, 50k iterations:")
+	fmt.Printf("%20s  %12s  %14s  %10s  %s\n",
+		"strategy", "updates/sec", "coord_ops/iter", "dist²", "staleness")
+	strategies := []asyncsgd.Strategy{
+		asyncsgd.NewLockFreeStrategy(),
+		asyncsgd.NewBoundedStalenessStrategy(4),
+		asyncsgd.NewUpdateBatchingStrategy(16),
+		asyncsgd.NewEpochFenceStrategy(128),
+	}
+	for _, strat := range strategies {
+		res, err := asyncsgd.RunParallel(asyncsgd.ParallelConfig{
+			Workers: 4, TotalIters: 50000, Alpha: 0.02,
+			Oracle: oracle, Seed: 42, Strategy: strat, X0: x0,
+		})
+		if err != nil {
+			return err
+		}
+		d2 := 0.0
+		for i, v := range res.Final {
+			diff := v - oracle.Optimum()[i]
+			d2 += diff * diff
+		}
+		staleness := "-"
+		if sb, ok := strat.(asyncsgd.StalenessBounded); ok {
+			staleness = fmt.Sprintf("%d (≤ τ=%d)", sb.ObservedMaxStaleness(), sb.TauBound())
+		}
+		fmt.Printf("%20s  %12.0f  %14.1f  %10.4f  %s\n",
+			res.Strategy, res.UpdatesPerSec,
+			float64(res.CoordOps)/float64(res.Iters), d2, staleness)
+	}
+
+	// The same gate on the simulated machine, against the adaptive
+	// max-staleness adversary: the adversary wants to inject 30 iterations
+	// of delay, the gate allows at most 4.
+	fmt.Println("\nsimulated machine, 3 threads, max-staleness adversary (budget 30):")
+	for _, tau := range []int{0, 4} {
+		res, err := asyncsgd.RunEpoch(asyncsgd.EpochConfig{
+			Threads: 3, TotalIters: 400, Alpha: 0.02, Oracle: oracle,
+			Policy: &asyncsgd.MaxStale{Budget: 30}, Seed: 7, X0: x0,
+			Track: true, StalenessBound: tau,
+		})
+		if err != nil {
+			return err
+		}
+		label := "gate off"
+		if tau > 0 {
+			label = fmt.Sprintf("gate τ=%d", tau)
+		}
+		fmt.Printf("  %-10s measured staleness %2d, τmax view %2d\n",
+			label, res.Tracker.MaxAdmissionsDuring(), res.Tracker.TauMaxView())
+	}
+	fmt.Println("\nThe gate turns Theorem 6.5's delay parameter τ from an adversary's")
+	fmt.Println("choice into a runtime knob; E16 sweeps it against the Section-5 bound.")
+	return nil
+}

@@ -29,6 +29,52 @@ func TestPublicAPIExtensions(t *testing.T) {
 	}
 }
 
+// TestPublicAPIDisciplines drives the three synchronization disciplines
+// through the facade on both runtimes: the gated strategies report a
+// staleness within their bound on real threads, and the machine
+// counterparts (EpochConfig.StalenessBound / Batch / FenceEvery) run
+// under an adversary with the gate holding.
+func TestPublicAPIDisciplines(t *testing.T) {
+	oracle, err := NewIsoQuadratic(4, 1, 0.3, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strategies := []Strategy{
+		NewBoundedStalenessStrategy(3),
+		NewUpdateBatchingStrategy(8),
+		NewEpochFenceStrategy(32),
+	}
+	for _, strat := range strategies {
+		res, err := RunParallel(ParallelConfig{
+			Workers: 4, TotalIters: 4000, Alpha: 0.05, Oracle: oracle,
+			Seed: 7, Strategy: strat, X0: Dense{1, 1, 1, 1},
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", strat.Name(), err)
+		}
+		if res.Iters != 4000 {
+			t.Errorf("%s: completed %d iterations", strat.Name(), res.Iters)
+		}
+		if sb, ok := strat.(StalenessBounded); ok {
+			if sb.ObservedMaxStaleness() > sb.TauBound() {
+				t.Errorf("%s: staleness %d exceeds bound %d",
+					strat.Name(), sb.ObservedMaxStaleness(), sb.TauBound())
+			}
+		}
+	}
+	res, err := RunEpoch(EpochConfig{
+		Threads: 3, TotalIters: 300, Alpha: 0.05, Oracle: oracle,
+		Policy: &MaxStale{Budget: 20}, Seed: 8, Track: true,
+		StalenessBound: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Tracker.MaxAdmissionsDuring(); got > 3 {
+		t.Errorf("machine gate leaked: measured staleness %d > 3", got)
+	}
+}
+
 func TestPublicAPIParallelFull(t *testing.T) {
 	oracle, err := NewIsoQuadratic(2, 1, 0.3, 3, nil)
 	if err != nil {

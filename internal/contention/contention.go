@@ -33,6 +33,15 @@ const (
 	// of the Algorithm-1 iteration structure and is ignored by the
 	// tracker.
 	RoleProbe
+	// RoleGate marks the synchronization operations of the gated
+	// disciplines (bounded staleness, epoch fencing): reads of the shared
+	// done-counter while waiting at the entry gate or waiting to publish a
+	// completion, and the publishing fetch&add itself. For gate reads,
+	// Tag.Coord carries the done-counter threshold the worker is waiting
+	// for, so an adversary can tell a blocked thread from a passable one.
+	// Like RoleProbe it is not part of the Algorithm-1 iteration structure
+	// and is ignored by the tracker.
+	RoleGate
 )
 
 // String returns the role name.
@@ -46,6 +55,8 @@ func (r Role) String() string {
 		return "update"
 	case RoleProbe:
 		return "probe"
+	case RoleGate:
+		return "gate"
 	default:
 		return fmt.Sprintf("Role(%d)", uint8(r))
 	}
@@ -291,6 +302,54 @@ func (tr *Tracker) missed(cur, pred *iter) bool {
 // Taus returns the staleness sequence τ_1..τ_T over ordered iterations.
 // Finalize must have been called.
 func (tr *Tracker) Taus() []int { return tr.taus }
+
+// MaxAdmissionsDuring returns the maximum, over completed iterations, of
+// the number of newer iterations (by claim order) whose view phase began
+// while the iteration was still in flight (between its own first view
+// read and its last model update). This is the staleness quantity the
+// gated disciplines provably control — a bounded-staleness gate admits at
+// most τ newer iterations while any iteration is unpublished, and an
+// epoch fence admits only same-epoch ones — and the machine counterpart
+// of the real runtime's observed-staleness gauge (hogwild's
+// StalenessBounded, whose ticket issuance is the gate admission).
+// Claims parked *before* the gate do not count: a claimed-but-unadmitted
+// iteration has read nothing, so no view can be stale relative to it.
+//
+// Cost is O(n · overlap); use on gated runs, where the gate bounds the
+// overlap.
+func (tr *Tracker) MaxAdmissionsDuring() int {
+	type win struct{ start, firstRead, end int }
+	wins := make([]win, 0, len(tr.iters))
+	for _, it := range tr.iters {
+		fr := 0
+		for _, ct := range it.reads {
+			if ct.time > 0 && (fr == 0 || ct.time < fr) {
+				fr = ct.time
+			}
+		}
+		if fr == 0 {
+			continue // empty read support: nothing can interleave a view
+		}
+		wins = append(wins, win{it.startTime, fr, it.endTime})
+	}
+	sort.Slice(wins, func(a, b int) bool { return wins[a].firstRead < wins[b].firstRead })
+	m := 0
+	for i, w := range wins {
+		if w.end == 0 {
+			continue
+		}
+		count := 0
+		for j := i + 1; j < len(wins) && wins[j].firstRead < w.end; j++ {
+			if wins[j].start > w.start {
+				count++
+			}
+		}
+		if count > m {
+			m = count
+		}
+	}
+	return m
+}
 
 // TauMaxView returns max_t τ_t, the maximum view staleness.
 func (tr *Tracker) TauMaxView() int {

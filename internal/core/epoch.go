@@ -36,6 +36,26 @@ type EpochConfig struct {
 	// coordinate).
 	Sparse bool
 
+	// StalenessBound τ ≥ 1 runs the bounded-staleness discipline: a new
+	// iteration may take its view only once every iteration claimed more
+	// than τ slots earlier has completed and published on the shared done
+	// counter, so no view misses more than τ predecessors — the machine
+	// counterpart of hogwild.NewBoundedStaleness, actively capping the τ
+	// that parameterizes Theorem 6.5 and that the Section-5 adversary
+	// inflates. 0 disables.
+	StalenessBound int
+	// Batch b ≥ 1 runs the update-batching discipline: each worker
+	// buffers b gradients locally and applies them in one scatter
+	// fetch&add pass (plus a terminal flush of the final partial batch) —
+	// the machine counterpart of hogwild.NewUpdateBatching. 0 disables.
+	Batch int
+	// FenceEvery E ≥ 1 runs the epoch-fence discipline: iteration c may
+	// start only once all iterations of claim epochs before ⌊c/E⌋ have
+	// completed, so every view is a consistent snapshot across epoch
+	// boundaries — the machine counterpart of hogwild.NewEpochFence.
+	// 0 disables.
+	FenceEvery int
+
 	// Momentum enables the §8 alternative mitigation: each worker keeps a
 	// local heavy-ball velocity v ← β·v + g̃ and applies −α·v.
 	Momentum float64
@@ -47,11 +67,17 @@ type EpochConfig struct {
 
 // EpochResult is the outcome of one EpochSGD run.
 type EpochResult struct {
-	Alpha   float64
-	X0      vec.Dense
-	FinalX  vec.Dense // model registers at the end of the run
-	Stats   shm.RunStats
-	Tracker *contention.Tracker // nil unless Track
+	Alpha  float64
+	X0     vec.Dense
+	FinalX vec.Dense // model registers at the end of the run
+	Stats  shm.RunStats
+	// CoordOps is the total number of shared model-coordinate accesses
+	// (view reads plus update fetch&adds) the run performed — the
+	// simulator-side counterpart of hogwild.Result.CoordOps. Synchronization
+	// traffic (counter claims, probes, gate/publish operations on the done
+	// counter) is excluded.
+	CoordOps int64
+	Tracker  *contention.Tracker // nil unless Track
 	// Records holds completed iterations sorted by first model update —
 	// the paper's total order. Empty unless Record.
 	Records []IterRecord
@@ -82,6 +108,23 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 			return nil, fmt.Errorf("%w: Sparse is incompatible with Momentum", ErrBadConfig)
 		}
 	}
+	if cfg.StalenessBound < 0 || cfg.Batch < 0 || cfg.FenceEvery < 0 {
+		return nil, fmt.Errorf("%w: negative discipline parameter in %+v", ErrBadConfig, cfg)
+	}
+	disciplines := 0
+	for _, v := range []int{cfg.StalenessBound, cfg.Batch, cfg.FenceEvery} {
+		if v > 0 {
+			disciplines++
+		}
+	}
+	if disciplines > 1 {
+		return nil, fmt.Errorf("%w: StalenessBound, Batch and FenceEvery are mutually exclusive",
+			ErrBadConfig)
+	}
+	if disciplines > 0 && (cfg.Momentum > 0 || cfg.StalenessEta > 0) {
+		return nil, fmt.Errorf("%w: disciplines are incompatible with Momentum/StalenessEta",
+			ErrBadConfig)
+	}
 	d := cfg.Oracle.Dim()
 	x0 := cfg.X0
 	if x0 == nil {
@@ -96,6 +139,15 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 	if cfg.Record {
 		rec = &recorder{records: make([]IterRecord, 0, cfg.TotalIters)}
 	}
+	gated := cfg.StalenessBound > 0 || cfg.FenceEvery > 0
+	opts := workerOpts{
+		momentum:       cfg.Momentum,
+		stalenessEta:   cfg.StalenessEta,
+		stalenessBound: cfg.StalenessBound,
+		batch:          cfg.Batch,
+		fenceEvery:     cfg.FenceEvery,
+		doneAddr:       ModelBase + d,
+	}
 	progs := make([]shm.Program, cfg.Threads)
 	for i := 0; i < cfg.Threads; i++ {
 		progs[i] = newWorker(
@@ -103,7 +155,7 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 			cfg.Oracle.CloneFor(i), cfg.Sparse,
 			rng.NewStream(cfg.Seed, uint64(i)+1),
 			rec, cfg.Accumulate,
-			workerOpts{momentum: cfg.Momentum, stalenessEta: cfg.StalenessEta},
+			opts,
 		)
 	}
 
@@ -112,9 +164,20 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 		// Each iteration costs ≤ 1 + 2d steps (+1 probe); claiming threads
 		// beyond the budget cost one counter step each. Generous 2x slack.
 		maxSteps = 2 * (cfg.TotalIters + cfg.Threads + 1) * (3 + 2*d)
+		if gated {
+			// Gate and publish operations add ≥ 3 steps per iteration, and
+			// a blocked thread burns one spin step each time it is
+			// scheduled — under a fair policy up to one per step of the
+			// threads it waits for.
+			maxSteps *= 2 + cfg.Threads
+		}
 	}
 
-	initMem := make([]float64, 1+d)
+	memSize := 1 + d
+	if gated {
+		memSize++ // the shared done counter at ModelBase+d
+	}
+	initMem := make([]float64, memSize)
 	copy(initMem[ModelBase:], x0)
 
 	var tracker *contention.Tracker
@@ -135,7 +198,7 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 	}
 
 	m, err := shm.New(shm.Config{
-		MemSize:  1 + d,
+		MemSize:  memSize,
 		MaxSteps: maxSteps,
 		InitMem:  initMem,
 		OnStep:   onStep,
@@ -151,12 +214,20 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 		tracker.Finalize()
 	}
 
+	var coordOps int64
+	for _, p := range progs {
+		if w, ok := p.(*worker); ok {
+			coordOps += w.coordOps
+		}
+	}
+
 	res := &EpochResult{
-		Alpha:   cfg.Alpha,
-		X0:      x0.Clone(),
-		FinalX:  vec.FromSlice(m.Mem()[ModelBase : ModelBase+d]),
-		Stats:   stats,
-		Tracker: tracker,
+		Alpha:    cfg.Alpha,
+		X0:       x0.Clone(),
+		FinalX:   vec.FromSlice(m.Mem()[ModelBase : ModelBase+d]),
+		Stats:    stats,
+		CoordOps: coordOps,
+		Tracker:  tracker,
 	}
 	if rec != nil {
 		res.Records = rec.records

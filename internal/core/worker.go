@@ -16,6 +16,8 @@
 package core
 
 import (
+	"sort"
+
 	"asyncsgd/internal/contention"
 	"asyncsgd/internal/grad"
 	"asyncsgd/internal/rng"
@@ -64,19 +66,42 @@ type workerPhase uint8
 const (
 	phaseInit workerPhase = iota
 	phaseCounter
+	phaseGate // gated disciplines: wait for the done counter to reach the gate
 	phaseRead
 	phaseProbe // staleness probe: re-read the counter before updating
 	phaseUpdate
+	phasePubRead // gated disciplines: wait for the done counter to reach this claim
+	phasePubFAA  // gated disciplines: publish this iteration's completion
 )
 
 // workerOpts carries the optional algorithm extensions discussed in the
-// paper's Section 8: a local momentum term (the alternative mitigation the
-// paper mentions via Mitliagkas et al.) and staleness-aware step scaling
-// (Zhang et al. / Zheng et al., whose applicability the paper discusses).
+// paper's Section 8 — a local momentum term (the alternative mitigation
+// the paper mentions via Mitliagkas et al.) and staleness-aware step
+// scaling (Zhang et al. / Zheng et al.) — plus the synchronization
+// disciplines mirrored from the real-thread runtime (hogwild's
+// bounded-staleness, update-batching and epoch-fence strategies), so each
+// discipline runs on both runtimes.
+//
+// The gated disciplines (stalenessBound, fenceEvery) share one shared
+// register, the done counter at doneAddr: iterations publish their
+// completions there *in claim order* (phasePubRead spins until the
+// counter equals this iteration's claim, then phasePubFAA increments it),
+// which makes the register a true low-water mark — done = c means every
+// iteration claimed before c has fully applied its updates. The entry
+// gate (phaseGate) spins on that register before taking a view, capping
+// how many iterations can be in flight around any view.
 type workerOpts struct {
 	momentum     float64 // β: local heavy-ball momentum; 0 disables
 	stalenessEta float64 // η: α_eff = α/(1+η·staleness); 0 disables
+
+	stalenessBound int // τ ≥ 1: gate views on done ≥ claim−τ; 0 disables
+	batch          int // b ≥ 1: buffer b gradients before one scatter pass; 0 disables
+	fenceEvery     int // E ≥ 1: gate views on done ≥ ⌊claim/E⌋·E; 0 disables
+	doneAddr       int // register of the shared done counter (gated disciplines)
 }
+
+// gated reports whether the worker runs behind a done-counter gate.
+func (o workerOpts) gated() bool { return o.stalenessBound > 0 || o.fenceEvery > 0 }
 
 // worker is the Algorithm-1 thread body as an explicit shm.Program state
 // machine (no per-step goroutine handoff on the hot path).
@@ -105,6 +130,13 @@ type worker struct {
 	nzv      []float64  // matching update values (the gradient entries)
 	claimed  int        // counter value claimed by the current iteration
 	alphaEff float64    // per-iteration effective step size
+
+	batchAcc     vec.Dense // update-batching: local gradient accumulator
+	batchTouched []int     // coordinates with buffered mass
+	batchSeen    []bool    // membership mask for batchTouched
+	batchPending int       // buffered gradients
+	finishing    bool      // terminal batch flush in progress: terminate after updates
+	coordOps     int64     // executed model-coordinate reads + updates
 
 	cur IterRecord // record under construction
 }
@@ -138,6 +170,10 @@ func newWorker(id int, alpha float64, budget int, o grad.Oracle, sparse bool, r 
 	if opts.momentum > 0 {
 		w.vel = vec.NewDense(d)
 	}
+	if opts.batch > 0 {
+		w.batchAcc = vec.NewDense(d)
+		w.batchSeen = make([]bool, d)
+	}
 	return w
 }
 
@@ -151,24 +187,28 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 	case phaseCounter:
 		// prev.Val is the prior counter value: line 3 of Algorithm 1.
 		if int(prev.Val) >= w.budget {
+			if w.opts.batch > 0 && w.batchPending > 0 {
+				// The worker leaves, but its buffered gradients must reach
+				// the model first (the Flusher hook of the real runtime).
+				return w.terminalFlush(prev.Time)
+			}
 			return shm.Request{}, true
 		}
 		w.claimed = int(prev.Val)
-		w.pos = 0
-		if w.so != nil {
-			w.plan = w.so.PlanSparse(w.r)
-			w.svals = w.svals[:0]
-			if len(w.plan) == 0 {
-				// The planned gradient reads nothing: evaluate immediately
-				// (it may still be non-zero only on an empty support, i.e.
-				// identically zero) and move on.
-				return w.gradReady(prev.Time)
-			}
+		if w.opts.gated() {
+			w.phase = phaseGate
+			return w.issueGateRead()
 		}
-		w.phase = phaseRead
-		return w.issueRead()
+		return w.startIteration(prev.Time)
+
+	case phaseGate:
+		if int(prev.Val) >= w.gateMin() {
+			return w.startIteration(prev.Time)
+		}
+		return w.issueGateRead() // still blocked: spin on the done counter
 
 	case phaseRead:
+		w.coordOps++ // prev is the result of one executed view read
 		if w.so != nil {
 			w.svals = append(w.svals, prev.Val)
 			w.pos++
@@ -193,6 +233,7 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 		return w.beginUpdates()
 
 	case phaseUpdate:
+		w.coordOps++ // prev is the result of one executed model fetch&add
 		if w.rec != nil {
 			if w.pos == 1 { // result of the first update just arrived
 				w.cur.FirstUp = prev.Time
@@ -206,12 +247,101 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 		if w.rec != nil {
 			w.rec.records = append(w.rec.records, w.cur)
 		}
+		if w.finishing {
+			return shm.Request{}, true
+		}
+		return w.endIteration()
+
+	case phasePubRead:
+		if int(prev.Val) >= w.claimed {
+			w.phase = phasePubFAA
+			return shm.Request{
+				Kind: shm.OpFAA,
+				Addr: w.opts.doneAddr,
+				Val:  1,
+				Tag: contention.Tag{
+					Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
+					Coord: w.claimed,
+				},
+			}, false
+		}
+		return w.issuePubRead() // predecessors unpublished: spin
+
+	case phasePubFAA:
 		w.iter++
 		return w.issueCounter()
 
 	default:
 		return shm.Request{}, true
 	}
+}
+
+// startIteration runs once the iteration's claim (and, for gated
+// disciplines, its gate) is through: draw the sparse plan and issue the
+// first view read, or evaluate immediately on an empty read support.
+func (w *worker) startIteration(now int) (shm.Request, bool) {
+	w.pos = 0
+	if w.so != nil {
+		w.plan = w.so.PlanSparse(w.r)
+		w.svals = w.svals[:0]
+		if len(w.plan) == 0 {
+			// The planned gradient reads nothing: evaluate immediately
+			// (it may still be non-zero only on an empty support, i.e.
+			// identically zero) and move on.
+			return w.gradReady(now)
+		}
+	}
+	w.phase = phaseRead
+	return w.issueRead()
+}
+
+// endIteration closes the iteration: gated disciplines publish their
+// completion on the done counter (in claim order) before claiming the
+// next iteration; everything else claims directly.
+func (w *worker) endIteration() (shm.Request, bool) {
+	if w.opts.gated() {
+		w.phase = phasePubRead
+		return w.issuePubRead()
+	}
+	w.iter++
+	return w.issueCounter()
+}
+
+// gateMin returns the done-counter value the current claim must wait for:
+// claim−τ under bounded staleness (no view may miss more than τ
+// predecessors), the start of the claim's epoch under fencing (a view
+// must contain every earlier epoch's updates).
+func (w *worker) gateMin() int {
+	if w.opts.stalenessBound > 0 {
+		m := w.claimed - w.opts.stalenessBound
+		if m < 0 {
+			m = 0
+		}
+		return m
+	}
+	return (w.claimed / w.opts.fenceEvery) * w.opts.fenceEvery
+}
+
+func (w *worker) issueGateRead() (shm.Request, bool) {
+	return shm.Request{
+		Kind: shm.OpRead,
+		Addr: w.opts.doneAddr,
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
+			Coord: w.gateMin(),
+		},
+	}, false
+}
+
+func (w *worker) issuePubRead() (shm.Request, bool) {
+	return shm.Request{
+		Kind: shm.OpRead,
+		Addr: w.opts.doneAddr,
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
+			Coord: w.claimed,
+		},
+	}, false
 }
 
 // gradReady runs once the view (dense) or support values (sparse) are
@@ -268,6 +398,9 @@ func (w *worker) gradReady(genTime int) (shm.Request, bool) {
 // step, records bookkeeping, and issues the first model update (or skips
 // straight to the next iteration on a zero direction).
 func (w *worker) beginUpdates() (shm.Request, bool) {
+	if w.opts.batch > 0 {
+		return w.bufferIntoBatch()
+	}
 	w.nz = w.nz[:0]
 	w.nzv = w.nzv[:0]
 	if w.so != nil {
@@ -293,8 +426,116 @@ func (w *worker) beginUpdates() (shm.Request, bool) {
 	if len(w.nz) == 0 {
 		// Zero direction: nothing to apply; the iteration contributes
 		// the identity update and is not ordered (no fetch&add).
+		return w.endIteration()
+	}
+	w.pos = 0
+	w.phase = phaseUpdate
+	return w.issueUpdate()
+}
+
+// bufferIntoBatch folds the fresh gradient into the worker-local batch
+// accumulator (the same arithmetic, in the same coordinate order, as the
+// real runtime's batch stepper) and scatters the whole batch with one
+// fetch&add pass every opts.batch gradients.
+func (w *worker) bufferIntoBatch() (shm.Request, bool) {
+	if w.so != nil {
+		for k, j := range w.sg.Indices {
+			w.batchAdd(j, w.sg.Values[k])
+		}
+		if w.acc != nil {
+			_ = w.sg.AddScaledInto(w.acc, -w.alphaEff)
+		}
+	} else {
+		for j, v := range w.g {
+			if v != 0 {
+				w.batchAdd(j, v)
+			}
+		}
+		if w.acc != nil {
+			_ = w.acc.AddScaled(-w.alphaEff, w.g)
+		}
+	}
+	w.batchPending++
+	if w.batchPending < w.opts.batch {
+		// Not full yet: no shared updates, so the iteration is not
+		// ordered (like a zero direction); its mass rides in the flush.
 		w.iter++
 		return w.issueCounter()
+	}
+	w.materializeBatch()
+	if w.rec != nil {
+		// The flushing iteration's applied direction is the whole batch;
+		// recording it (rather than its own gradient) keeps the
+		// Accumulators/HitTime reconstruction exact.
+		w.cur.AlphaEff = w.alphaEff
+		w.cur.Grad = w.batchDense()
+	}
+	if len(w.nz) == 0 {
+		w.iter++
+		return w.issueCounter()
+	}
+	w.pos = 0
+	w.phase = phaseUpdate
+	return w.issueUpdate()
+}
+
+func (w *worker) batchAdd(j int, v float64) {
+	if !w.batchSeen[j] {
+		w.batchSeen[j] = true
+		w.batchTouched = append(w.batchTouched, j)
+	}
+	w.batchAcc[j] += v
+}
+
+// materializeBatch moves the buffered batch into nz/nzv (sorted by
+// coordinate) and resets the accumulator.
+func (w *worker) materializeBatch() {
+	sort.Ints(w.batchTouched)
+	w.nz = w.nz[:0]
+	w.nzv = w.nzv[:0]
+	for _, j := range w.batchTouched {
+		if v := w.batchAcc[j]; v != 0 {
+			w.nz = append(w.nz, j)
+			w.nzv = append(w.nzv, v)
+		}
+		w.batchAcc[j] = 0
+		w.batchSeen[j] = false
+	}
+	w.batchTouched = w.batchTouched[:0]
+	w.batchPending = 0
+}
+
+// batchDense materializes the just-materialized batch as a dense vector
+// (for iteration records).
+func (w *worker) batchDense() vec.Dense {
+	g := vec.NewDense(w.d)
+	for k, j := range w.nz {
+		g[j] = w.nzv[k]
+	}
+	return g
+}
+
+// terminalFlush applies the worker's final partial batch after its
+// closing counter claim landed beyond the budget, then terminates.
+func (w *worker) terminalFlush(now int) (shm.Request, bool) {
+	w.materializeBatch()
+	if len(w.nz) == 0 {
+		return shm.Request{}, true
+	}
+	w.finishing = true
+	w.alphaEff = w.alpha
+	if w.rec != nil {
+		// The flush's updates belong to gradients of earlier iterations;
+		// record them under the current (unclaimed) local iteration with
+		// an empty view so the accumulator reconstruction stays exact.
+		w.cur = IterRecord{
+			Thread:    w.id,
+			LocalIter: w.iter,
+			View:      vec.NewDense(w.d),
+			Grad:      w.batchDense(),
+			AlphaEff:  w.alphaEff,
+			GenTime:   now,
+		}
 	}
 	w.pos = 0
 	w.phase = phaseUpdate

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestE16GateHoldsEverywhere: every gated row of every E16 table must
+// report measured staleness within its bound (the acceptance criterion:
+// measured max staleness ≤ τ for every gated run), and the gate must
+// actually beat the ungated adversarial outcome in the Section-5 table.
+func TestE16GateHoldsEverywhere(t *testing.T) {
+	tables, err := E16StalenessGate(Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	holdsAllYes(t, tables)
+
+	// E16a: for every gated row, |x|_final must beat the ungated
+	// adversarial prediction, and measured staleness ≤ τ must hold.
+	a := tables[0]
+	for _, row := range a.Rows {
+		if row[0] == "off" {
+			continue
+		}
+		tau, err := strconv.Atoi(row[0])
+		if err != nil {
+			t.Fatalf("bad tau cell %q", row[0])
+		}
+		meas := parseF(t, row[1])
+		if int(meas) > tau {
+			t.Errorf("E16a tau=%d: measured staleness %v exceeds the gate", tau, meas)
+		}
+		final := parseF(t, row[4])
+		ungated := parseF(t, row[5])
+		if final >= ungated {
+			t.Errorf("E16a tau=%d: gated |x| %v did not beat the ungated prediction %v",
+				tau, final, ungated)
+		}
+	}
+
+	// E16b: gated rows obey their bounds; the ungated row must show the
+	// adversary's larger staleness (the gate is doing something).
+	b := tables[1]
+	var offStale, minGateStale float64 = -1, 1e18
+	for _, row := range b.Rows {
+		meas := parseF(t, row[1])
+		if row[0] == "off" {
+			offStale = meas
+			continue
+		}
+		if meas < minGateStale {
+			minGateStale = meas
+		}
+	}
+	if offStale < 0 {
+		t.Fatal("E16b: no ungated reference row")
+	}
+	if offStale < minGateStale {
+		t.Errorf("E16b: ungated staleness %v below the tightest gated run %v "+
+			"(adversary not exercising the gate)", offStale, minGateStale)
+	}
+}

@@ -1,6 +1,6 @@
 // Package experiments contains one driver per quantitative claim of the
 // paper, regenerating the corresponding table/series (see DESIGN.md §3 for
-// the experiment index E1–E14). Each driver returns report tables with the
+// the experiment index E1–E16). Each driver returns report tables with the
 // paper's predicted values side by side with Monte-Carlo measurements from
 // the simulator (or the real-thread runtime for E10).
 package experiments
@@ -64,6 +64,7 @@ var registry = []struct {
 	{"e13", "Extension (§8/related work): staleness-aware scaling vs the adversary", E13StalenessAware},
 	{"e14", "Section 3: martingale (hitting) vs classic regret analyses", E14AnalysisStyles},
 	{"e15", "Sparse update pipeline: O(nnz) work and touched-coordinate contention", E15SparsePipeline},
+	{"e16", "Staleness gate: capping the Section-5 adversary's τ at runtime", E16StalenessGate},
 }
 
 // IDs returns the experiment ids in display order.

@@ -1,0 +1,378 @@
+package hogwild
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"asyncsgd/internal/atomicfloat"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// This file implements the three synchronization disciplines DESIGN.md §2
+// promised beyond the lock-free/lock-based built-ins:
+//
+//   - NewBoundedStaleness(tau): a staleness gate. Iterations acquire
+//     tickets and publish completions in ticket order, and a ticket may
+//     take its view only once every ticket older than τ has fully
+//     completed. The maximum delay an execution can exhibit — the τ that
+//     parameterizes Theorem 6.5's bound and that the Section-5 adversary
+//     inflates — is therefore capped at τ by construction.
+//   - NewUpdateBatching(b): local update batching. Each worker accumulates
+//     b gradients in a local vec.Sparse buffer and applies them in one
+//     scatter fetch&add pass, cutting shared-memory write traffic ~b×.
+//   - NewEpochFence(every): barrier-fenced epochs. Iteration t belongs to
+//     epoch ⌊t/every⌋ and may start only after every iteration of earlier
+//     epochs has completed — the real-goroutine version of FullSGD's
+//     consistent-snapshot story, at sub-run granularity.
+//
+// The simulated-machine counterparts live in internal/core
+// (EpochConfig.StalenessBound / Batch / FenceEvery), so every discipline
+// runs on both runtimes and internal/harness can check them against each
+// other.
+
+// StalenessBounded is implemented by strategies that enforce a staleness
+// bound. TauBound returns the enforced bound τ; ObservedMaxStaleness
+// returns the largest staleness any iteration of the last run actually
+// exhibited (the number of iterations that began while it was in flight),
+// which the discipline guarantees to be ≤ TauBound.
+type StalenessBounded interface {
+	TauBound() int
+	ObservedMaxStaleness() int
+}
+
+// Flusher is an optional Stepper extension for disciplines that buffer
+// updates locally: Run invokes Flush on a worker's stepper after the
+// worker's last iteration, so buffered updates reach the shared model
+// before the run's final snapshot. Flush returns the number of shared
+// model-coordinate accesses it performed.
+type Flusher interface {
+	Flush() int
+}
+
+// --- ordered ticket window --------------------------------------------------
+
+// orderedWindow issues iteration tickets and publishes completions in
+// ticket order, making done a true low-water mark: done == t means every
+// ticket < t has completed. Because a completion cannot be published
+// before its predecessors', done never exceeds the oldest in-flight
+// ticket — which is what turns a "done ≥ t−τ" entry gate into a hard
+// staleness bound (see acquire).
+type orderedWindow struct {
+	issued atomic.Int64
+	done   atomic.Int64
+}
+
+func (w *orderedWindow) reset() {
+	w.issued.Store(0)
+	w.done.Store(0)
+}
+
+// acquire admits the caller through the gate and returns its ticket.
+// Issuing the ticket IS the admission: the CAS on issued succeeds only
+// while done ≥ minDone(next ticket), so the invariant
+// issued ≤ done + window holds at every instant — while ticket t is
+// unpublished (done ≤ t), at most window−… newer tickets can be admitted.
+// For the bounded-staleness gate minDone(t) = t−τ this caps the number of
+// iterations that begin during any iteration's flight at exactly τ.
+func (w *orderedWindow) acquire(minDone func(t int64) int64) int64 {
+	for {
+		t := w.issued.Load()
+		if w.done.Load() >= minDone(t) {
+			if w.issued.CompareAndSwap(t, t+1) {
+				return t
+			}
+			continue
+		}
+		runtime.Gosched()
+	}
+}
+
+// begun returns the number of tickets issued after t, i.e. the number of
+// iterations that began while ticket t was in flight — the iteration's
+// staleness. Call before release.
+func (w *orderedWindow) begun(t int64) int64 {
+	return w.issued.Load() - 1 - t
+}
+
+// release publishes ticket t's completion, in ticket order. A worker that
+// finishes out of order waits here for its predecessors, so the window
+// behaves like a depth-τ ring buffer: a stalled iteration backpressures
+// the whole pipeline, which is what makes the staleness bound
+// unconditional (and caps in-flight work at min(window, workers)).
+func (w *orderedWindow) release(t int64) {
+	for w.done.Load() != t {
+		runtime.Gosched()
+	}
+	w.done.Store(t + 1)
+}
+
+// --- bounded staleness ------------------------------------------------------
+
+// boundedStaleness is the lock-free Algorithm 1 behind a staleness gate:
+// an iteration may snapshot its view only once every iteration more than
+// τ tickets older has fully applied its updates. The in-flight window
+// never spans more than τ+1 iterations, so no view misses more than τ
+// predecessors — the adversary's delay-injection power (Section 5) is
+// capped at exactly the τ that Theorem 6.5's bound is parameterized by.
+type boundedStaleness struct {
+	model *atomicfloat.Vector
+	alpha float64
+	tau   int
+	win   orderedWindow
+	obs   atomic.Int64 // max observed staleness of the current run
+}
+
+// NewBoundedStaleness returns the bounded-staleness gated strategy with
+// staleness bound tau ≥ 1 (rejected at Bind otherwise). The returned
+// strategy implements StalenessBounded.
+func NewBoundedStaleness(tau int) Strategy { return &boundedStaleness{tau: tau} }
+
+func (s *boundedStaleness) Name() string { return "bounded-staleness" }
+
+// TauBound implements StalenessBounded.
+func (s *boundedStaleness) TauBound() int { return s.tau }
+
+// ObservedMaxStaleness implements StalenessBounded.
+func (s *boundedStaleness) ObservedMaxStaleness() int { return int(s.obs.Load()) }
+
+func (s *boundedStaleness) Bind(model *atomicfloat.Vector, alpha float64) error {
+	if s.tau <= 0 {
+		return fmt.Errorf("%w: staleness bound %d (want ≥ 1)", ErrBadConfig, s.tau)
+	}
+	s.model, s.alpha = model, alpha
+	s.win.reset()
+	s.obs.Store(0)
+	return nil
+}
+
+func (s *boundedStaleness) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	tau := int64(s.tau)
+	return newGatedStepper(s.model, s.alpha, &s.win, &s.obs, oracle, r,
+		func(t int64) int64 { return t - tau }), nil
+}
+
+// gatedStepper is the shared iteration body of the window-gated
+// disciplines (bounded staleness, epoch fencing): acquire a ticket
+// through the discipline's gate, run one lock-free iteration, record the
+// observed staleness, publish in ticket order.
+type gatedStepper struct {
+	model   *atomicfloat.Vector
+	alpha   float64
+	win     *orderedWindow
+	obs     *atomic.Int64
+	oracle  grad.Oracle
+	r       *rng.Rand
+	minDone func(t int64) int64
+	view    vec.Dense
+	g       vec.Dense
+}
+
+func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *orderedWindow,
+	obs *atomic.Int64, oracle grad.Oracle, r *rng.Rand, minDone func(t int64) int64) *gatedStepper {
+	d := model.Dim()
+	return &gatedStepper{
+		model: model, alpha: alpha, win: win, obs: obs, oracle: oracle, r: r,
+		minDone: minDone, view: vec.NewDense(d), g: vec.NewDense(d),
+	}
+}
+
+func (w *gatedStepper) Step() int {
+	t := w.win.acquire(w.minDone)
+	w.model.Snapshot(w.view)
+	w.oracle.Grad(w.g, w.view, w.r)
+	ops := len(w.view)
+	for j, gj := range w.g {
+		if gj != 0 {
+			w.model.FetchAdd(j, -w.alpha*gj)
+			ops++
+		}
+	}
+	if span := w.win.begun(t); span > w.obs.Load() {
+		for {
+			m := w.obs.Load()
+			if span <= m || w.obs.CompareAndSwap(m, span) {
+				break
+			}
+		}
+	}
+	w.win.release(t)
+	return ops
+}
+
+// --- update batching --------------------------------------------------------
+
+// updateBatching accumulates b gradients in worker-local memory and
+// applies them with one scatter fetch&add pass: shared-memory write
+// traffic drops ~b× while the view reads (and hence the convergence
+// dynamics, up to the extra staleness of buffered updates) stay those of
+// the underlying lock-free discipline. With a grad.SparseOracle the view
+// reads shrink to the planned support as well, making the whole iteration
+// O(|support| + nnz/b) shared operations.
+type updateBatching struct {
+	model *atomicfloat.Vector
+	alpha float64
+	b     int
+}
+
+// NewUpdateBatching returns the update-batching strategy with batch size
+// b ≥ 1 (rejected at Bind otherwise). Steppers buffer up to b gradients
+// locally; Run flushes the final partial batch via the Flusher extension.
+func NewUpdateBatching(b int) Strategy { return &updateBatching{b: b} }
+
+func (s *updateBatching) Name() string { return "update-batching" }
+
+func (s *updateBatching) Bind(model *atomicfloat.Vector, alpha float64) error {
+	if s.b <= 0 {
+		return fmt.Errorf("%w: batch size %d (want ≥ 1)", ErrBadConfig, s.b)
+	}
+	s.model, s.alpha = model, alpha
+	return nil
+}
+
+func (s *updateBatching) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	d := s.model.Dim()
+	w := &batchStepper{
+		s: s, oracle: oracle, r: r,
+		acc:  vec.NewDense(d),
+		seen: make([]bool, d),
+	}
+	if so, ok := grad.AsSparse(oracle); ok {
+		w.so = so
+	} else {
+		w.view = vec.NewDense(d)
+		w.g = vec.NewDense(d)
+	}
+	return w, nil
+}
+
+type batchStepper struct {
+	s      *updateBatching
+	oracle grad.Oracle
+	so     grad.SparseOracle // non-nil ⇒ sparse view reads
+	r      *rng.Rand
+
+	view vec.Dense
+	g    vec.Dense
+	vals []float64  // sparse path: gathered support values
+	sg   vec.Sparse // sparse path: the per-iteration gradient
+
+	acc     vec.Dense  // local gradient accumulator (sum of buffered g̃)
+	touched []int      // coordinates with buffered mass
+	seen    []bool     // membership mask for touched
+	pending int        // buffered gradients
+	buf     vec.Sparse // flush scratch (the promised vec.Sparse buffer)
+}
+
+func (w *batchStepper) Step() int {
+	s := w.s
+	var ops int
+	if w.so != nil {
+		support := w.so.PlanSparse(w.r)
+		w.vals = w.vals[:0]
+		for _, j := range support {
+			w.vals = append(w.vals, s.model.Load(j))
+		}
+		w.so.GradSparseAt(&w.sg, w.vals, w.r)
+		ops = len(support)
+		for k, j := range w.sg.Indices {
+			w.accumulate(j, w.sg.Values[k])
+		}
+	} else {
+		s.model.Snapshot(w.view)
+		w.oracle.Grad(w.g, w.view, w.r)
+		ops = len(w.view)
+		for j, gj := range w.g {
+			if gj != 0 {
+				w.accumulate(j, gj)
+			}
+		}
+	}
+	w.pending++
+	if w.pending >= s.b {
+		ops += w.Flush()
+	}
+	return ops
+}
+
+func (w *batchStepper) accumulate(j int, v float64) {
+	if !w.seen[j] {
+		w.seen[j] = true
+		w.touched = append(w.touched, j)
+	}
+	w.acc[j] += v
+}
+
+// Flush scatters the buffered batch to the shared model in one fetch&add
+// pass and returns the number of coordinate writes. It implements Flusher
+// so Run applies a worker's final partial batch.
+func (w *batchStepper) Flush() int {
+	if w.pending == 0 {
+		return 0
+	}
+	sort.Ints(w.touched)
+	w.buf.Reset(len(w.acc))
+	for _, j := range w.touched {
+		w.buf.Append(j, w.acc[j])
+		w.acc[j] = 0
+		w.seen[j] = false
+	}
+	w.touched = w.touched[:0]
+	w.pending = 0
+	for k, j := range w.buf.Indices {
+		w.s.model.FetchAdd(j, -w.s.alpha*w.buf.Values[k])
+	}
+	return w.buf.NNZ()
+}
+
+// --- epoch fence ------------------------------------------------------------
+
+// epochFence fences the iteration stream into epochs of a fixed length:
+// iteration t (in ticket order) belongs to epoch ⌊t/every⌋ and may take
+// its view only after every iteration of earlier epochs has completed.
+// Within an epoch the workers run lock-free; across epoch boundaries every
+// view is a consistent snapshot containing all earlier epochs' updates —
+// the real-goroutine analogue of FullSGD's per-epoch-model condition
+// (hogwild.RunFull fences whole runs; this fences inside one run), which
+// also caps staleness at every−1.
+type epochFence struct {
+	model *atomicfloat.Vector
+	alpha float64
+	every int
+	win   orderedWindow
+	obs   atomic.Int64
+}
+
+// NewEpochFence returns the epoch-fencing strategy with epoch length
+// every ≥ 1 (rejected at Bind otherwise). The returned strategy
+// implements StalenessBounded with bound every−1 (only same-epoch
+// iterations can interleave).
+func NewEpochFence(every int) Strategy { return &epochFence{every: every} }
+
+func (s *epochFence) Name() string { return "epoch-fence" }
+
+// TauBound implements StalenessBounded: at most every−1 same-epoch
+// iterations can begin while one is in flight.
+func (s *epochFence) TauBound() int { return s.every - 1 }
+
+// ObservedMaxStaleness implements StalenessBounded.
+func (s *epochFence) ObservedMaxStaleness() int { return int(s.obs.Load()) }
+
+func (s *epochFence) Bind(model *atomicfloat.Vector, alpha float64) error {
+	if s.every <= 0 {
+		return fmt.Errorf("%w: epoch length %d (want ≥ 1)", ErrBadConfig, s.every)
+	}
+	s.model, s.alpha = model, alpha
+	s.win.reset()
+	s.obs.Store(0)
+	return nil
+}
+
+func (s *epochFence) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, error) {
+	every := int64(s.every)
+	return newGatedStepper(s.model, s.alpha, &s.win, &s.obs, oracle, r,
+		func(t int64) int64 { return (t / every) * every }), nil
+}

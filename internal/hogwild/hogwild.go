@@ -2,8 +2,10 @@
 // same lock-free Algorithm 1 executed by actual goroutines over an atomic
 // float vector (CAS-emulated fetch&add), plus the coarse-lock baseline the
 // paper contrasts it with (Langford et al.'s consistent locking), a
-// striped-lock middle ground, and a sparse-aware lock-free path that does
-// O(nnz) shared-memory operations per iteration.
+// striped-lock middle ground, a sparse-aware lock-free path that does
+// O(nnz) shared-memory operations per iteration, and the three gated
+// disciplines of disciplines.go: bounded-staleness, update batching and
+// epoch fencing.
 //
 // The synchronization discipline is a pluggable Strategy (see strategy.go);
 // the legacy Mode enum maps onto the built-in strategies. The discrete
@@ -184,6 +186,11 @@ func Run(cfg Config) (*Result, error) {
 			for {
 				claimed := counter.Add(1) - 1
 				if claimed >= total {
+					// Disciplines that buffer updates locally flush their
+					// final partial batch before the worker leaves.
+					if f, ok := st.(Flusher); ok {
+						ops += int64(f.Flush())
+					}
 					coordOps.Add(ops)
 					return
 				}

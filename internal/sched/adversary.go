@@ -56,6 +56,13 @@ func (p *StaleGradient) Next(v *shm.View) shm.Decision {
 			p.phase = 1
 			return p.Next(v)
 		}
+		if gateBlocked(v, p.Victim) {
+			// The victim is parked at a discipline gate; only other
+			// threads' publishes can unblock it.
+			if tid := p.otherLive(v); tid >= 0 {
+				return shm.Decision{Thread: tid}
+			}
+		}
 		return shm.Decision{Thread: p.Victim}
 	case 1: // interpose DelayIters full iterations by other threads
 		if p.completed >= p.DelayIters {
@@ -63,7 +70,7 @@ func (p *StaleGradient) Next(v *shm.View) shm.Decision {
 			return p.Next(v)
 		}
 		tid := p.otherLive(v)
-		if tid < 0 { // nobody else can run; release the victim
+		if tid < 0 { // nobody else can make progress; release the victim
 			p.phase = 2
 			return p.Next(v)
 		}
@@ -83,12 +90,16 @@ func (p *StaleGradient) Next(v *shm.View) shm.Decision {
 	}
 }
 
-// otherLive returns a live non-victim thread (round-robin), or -1.
+// otherLive returns a live non-victim thread that is not blocked at a
+// discipline gate (round-robin), or -1. Gate-blocked threads cannot
+// progress while the victim is held, so delaying against them is futile:
+// a bounded-staleness gate exhausts the adversary after ~τ interposed
+// iterations.
 func (p *StaleGradient) otherLive(v *shm.View) int {
 	n := v.NumThreads()
 	for k := 1; k <= n; k++ {
 		i := (p.rr.last + k) % n
-		if i != p.Victim && v.Live(i) {
+		if i != p.Victim && v.Live(i) && !gateBlocked(v, i) {
 			p.rr.last = i
 			return i
 		}
@@ -131,6 +142,12 @@ func (p *MaxStale) Next(v *shm.View) shm.Decision {
 		if tg, ok := tagOf(v, p.victim); ok && tg.Role == contention.RoleUpdate {
 			p.phase, p.starts = 1, 0
 			return p.Next(v)
+		}
+		if gateBlocked(v, p.victim) {
+			// Advance someone else until a publish unblocks the victim.
+			if tid := p.otherLive(v); tid >= 0 {
+				return shm.Decision{Thread: tid}
+			}
 		}
 		return shm.Decision{Thread: p.victim}
 	case 1:
@@ -176,11 +193,14 @@ func (p *MaxStale) rotate(v *shm.View) bool {
 	return false
 }
 
+// otherLive returns a live non-victim thread that is not blocked at a
+// discipline gate, or -1 (at which point holding the victim any longer is
+// futile and the adversary releases it).
 func (p *MaxStale) otherLive(v *shm.View) int {
 	n := v.NumThreads()
 	for k := 1; k <= n; k++ {
 		i := (p.rr.last + k) % n
-		if i != p.victim && v.Live(i) {
+		if i != p.victim && v.Live(i) && !gateBlocked(v, i) {
 			p.rr.last = i
 			return i
 		}

@@ -169,3 +169,23 @@ func tagOf(v *shm.View, i int) (contention.Tag, bool) {
 	tg, ok := req.Tag.(contention.Tag)
 	return tg, ok
 }
+
+// gateBlocked reports whether thread i is parked at a gated-discipline
+// synchronization read it cannot currently pass: the pending op is a
+// RoleGate read whose register value is still below the threshold the
+// worker encoded in Tag.Coord. A blocked thread only spins until some
+// other thread publishes a completion, so scheduling it cannot advance
+// the algorithm; the delay-injecting adversaries treat it as
+// unschedulable — which is precisely how a bounded-staleness gate caps
+// the delay τ they can inject (E16).
+func gateBlocked(v *shm.View, i int) bool {
+	req, ok := v.Pending(i)
+	if !ok {
+		return false
+	}
+	tg, ok := req.Tag.(contention.Tag)
+	if !ok || tg.Role != contention.RoleGate || req.Kind != shm.OpRead {
+		return false
+	}
+	return v.Load(req.Addr) < float64(tg.Coord)
+}
