@@ -8,13 +8,23 @@
 //	asgdbench -exp e5 -scale full
 //	asgdbench -exp e15 -scale full   # sparse vs dense update pipeline
 //	asgdbench -exp e16 -scale full   # bounded-staleness gate vs the adversary
+//	asgdbench -exp e2,e5 -json       # machine-readable results on stdout
+//
+// With -json, output is a single JSON document (schema asgdbench/v1):
+// one record per experiment with its id, title, wall-clock seconds and
+// captured report text — the format BENCH_*.json trajectory files and CI
+// comparisons consume.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"asyncsgd/internal/experiments"
 )
@@ -26,11 +36,27 @@ func main() {
 	}
 }
 
-func run(args []string, out *os.File) error {
+// jsonResult is one experiment's machine-readable record.
+type jsonResult struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	Output  string  `json:"output"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Schema  string       `json:"schema"`
+	Scale   string       `json:"scale"`
+	Results []jsonResult `json:"results"`
+}
+
+func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asgdbench", flag.ContinueOnError)
 	exp := fs.String("exp", "all", "experiment id (e1..e16), comma list, or 'all'")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	list := fs.Bool("list", false, "list experiments and exit")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON results instead of report text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,13 +79,41 @@ func run(args []string, out *os.File) error {
 	default:
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
 	}
-	if *exp == "all" {
-		return experiments.RunAll(scale, out)
-	}
-	for _, id := range strings.Split(*exp, ",") {
-		if err := experiments.Run(strings.TrimSpace(id), scale, out); err != nil {
-			return err
+	ids := experiments.IDs()
+	if *exp != "all" {
+		ids = ids[:0]
+		for _, id := range strings.Split(*exp, ",") {
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
-	return nil
+	if !*asJSON {
+		for _, id := range ids {
+			if err := experiments.Run(id, scale, out); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	report := jsonReport{Schema: "asgdbench/v1", Scale: *scaleName}
+	for _, id := range ids {
+		title, err := experiments.TitleOf(id)
+		if err != nil {
+			return err
+		}
+		var buf bytes.Buffer
+		start := time.Now()
+		if err := experiments.Run(id, scale, &buf); err != nil {
+			return err
+		}
+		report.Results = append(report.Results, jsonResult{
+			ID:      id,
+			Title:   title,
+			Seconds: time.Since(start).Seconds(),
+			Output:  buf.String(),
+		})
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
 }

@@ -51,72 +51,99 @@ func (f *Float64) CompareAndSwap(old, new float64) bool {
 // cacheLineBytes is the assumed cache line size for padding.
 const cacheLineBytes = 64
 
-// paddedFloat is a Float64 padded to a full cache line so adjacent vector
-// coordinates do not false-share under concurrent fetch&add.
-type paddedFloat struct {
-	f Float64
-	_ [cacheLineBytes - 8]byte
-}
+// padShift is the log2 stride of the padded layout: 8 cells of 8 bytes
+// give each coordinate its own cache line.
+const padShift = 3
 
 // Vector is a fixed-dimension vector of atomic float64 coordinates.
 //
 // Two layouts are supported: packed (compact; coordinates may false-share)
 // and padded (one cache line per coordinate; ~8x memory). Padding matters
 // only for real-thread throughput benchmarks; correctness is identical.
+//
+// Both layouts share one representation — a single cell slice indexed
+// with a power-of-two stride (coordinate i lives at cells[i<<shift], with
+// shift 0 packed and 3 padded) — so the per-coordinate accessors are
+// branch-free: the old split packed/padded fields cost a taken-or-not
+// branch inside every FetchAdd and Load of the hogwild inner loop.
 type Vector struct {
-	packed []Float64
-	padded []paddedFloat
+	cells []Float64
+	shift uint8
 }
 
 // NewVector returns a packed atomic vector of dimension d, all zeros.
 func NewVector(d int) *Vector {
-	return &Vector{packed: make([]Float64, d)}
+	return &Vector{cells: make([]Float64, d)}
 }
 
 // NewPaddedVector returns a cache-line-padded atomic vector of dimension d.
 func NewPaddedVector(d int) *Vector {
-	return &Vector{padded: make([]paddedFloat, d)}
+	return &Vector{cells: make([]Float64, d<<padShift), shift: padShift}
 }
 
 // Dim returns the dimension.
-func (v *Vector) Dim() int {
-	if v.padded != nil {
-		return len(v.padded)
-	}
-	return len(v.packed)
-}
-
-func (v *Vector) cell(i int) *Float64 {
-	if v.padded != nil {
-		return &v.padded[i].f
-	}
-	return &v.packed[i]
-}
+func (v *Vector) Dim() int { return len(v.cells) >> v.shift }
 
 // Load returns coordinate i.
-func (v *Vector) Load(i int) float64 { return v.cell(i).Load() }
+func (v *Vector) Load(i int) float64 { return v.cells[i<<v.shift].Load() }
 
 // Store sets coordinate i.
-func (v *Vector) Store(i int, x float64) { v.cell(i).Store(x) }
+func (v *Vector) Store(i int, x float64) { v.cells[i<<v.shift].Store(x) }
 
 // FetchAdd atomically adds delta to coordinate i, returning the prior value.
 func (v *Vector) FetchAdd(i int, delta float64) float64 {
-	return v.cell(i).Add(delta)
+	return v.cells[i<<v.shift].Add(delta)
 }
 
-// Snapshot copies the current coordinates into dst (dst must have length
-// Dim). The copy is NOT an atomic snapshot of the whole vector — it is the
-// per-coordinate "inconsistent view" v_t of the paper's Section 6, which is
-// exactly what a lock-free reader observes.
-func (v *Vector) Snapshot(dst []float64) {
-	d := v.Dim()
-	if len(dst) != d {
-		panic("atomicfloat: Snapshot dst dimension mismatch")
+// LoadAll copies every coordinate into dst (dst must have length Dim) —
+// the bulk view-read path of the dense steppers. The copy is NOT an
+// atomic snapshot of the whole vector: each coordinate is loaded
+// individually, yielding the per-coordinate "inconsistent view" v_t of
+// the paper's Section 6, which is exactly what a lock-free reader
+// observes. The packed layout gets a dedicated loop so the compiler sees
+// a unit-stride scan.
+func (v *Vector) LoadAll(dst []float64) {
+	if len(dst) != v.Dim() {
+		panic("atomicfloat: LoadAll dst dimension mismatch")
 	}
-	for i := 0; i < d; i++ {
-		dst[i] = v.Load(i)
+	if v.shift == 0 {
+		cells := v.cells
+		for i := range dst {
+			dst[i] = cells[i].Load()
+		}
+		return
+	}
+	s := v.shift
+	for i := range dst {
+		dst[i] = v.cells[i<<s].Load()
 	}
 }
+
+// GatherInto loads the listed coordinates, dst[k] = X[idx[k]] — the
+// sparse view-read path: a sparse stepper gathers exactly its planned
+// support in O(nnz) instead of scanning the model. dst must have length
+// len(idx); the same inconsistent-view caveat as LoadAll applies.
+func (v *Vector) GatherInto(dst []float64, idx []int) {
+	if len(dst) != len(idx) {
+		panic("atomicfloat: GatherInto dst/idx length mismatch")
+	}
+	if v.shift == 0 {
+		cells := v.cells
+		for k, j := range idx {
+			dst[k] = cells[j].Load()
+		}
+		return
+	}
+	s := v.shift
+	for k, j := range idx {
+		dst[k] = v.cells[j<<s].Load()
+	}
+}
+
+// Snapshot is LoadAll under its historical name: it documents the
+// "inconsistent snapshot" reading of the bulk load and is what the
+// end-of-run result extraction calls.
+func (v *Vector) Snapshot(dst []float64) { v.LoadAll(dst) }
 
 // StoreAll sets every coordinate from src (length must equal Dim).
 func (v *Vector) StoreAll(src []float64) {

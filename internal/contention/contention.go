@@ -5,34 +5,39 @@
 // the bad/good iteration counting of Lemma 6.2, and the delay-indicator
 // sums of Lemma 6.4.
 //
-// It also defines Tag, the annotation attached by SGD thread programs to
+// It also names Tag, the annotation attached by SGD thread programs to
 // their shared-memory operations. Tags are visible to scheduling policies
 // (the strong adversary knows the role of every pending operation) and are
-// interpreted by Tracker.Observe to reconstruct iteration timelines.
+// interpreted by Tracker.Observe to reconstruct iteration timelines. The
+// concrete struct lives in internal/shm — embedded by value in shm.Request
+// so issuing a tagged operation allocates nothing — and is aliased here,
+// where its vocabulary is documented and interpreted.
 package contention
 
 import (
-	"fmt"
 	"sort"
+
+	"asyncsgd/internal/shm"
 )
 
 // Role classifies an SGD thread's shared-memory operation within one
-// iteration of Algorithm 1.
-type Role uint8
+// iteration of Algorithm 1. It aliases shm.Role; the zero value marks an
+// untagged operation.
+type Role = shm.Role
 
 // Operation roles. RoleCounter is the iteration-claiming fetch&add on the
 // shared counter C; RoleRead is a read of one model coordinate while
 // assembling the view v_t; RoleUpdate is the fetch&add applying one
 // gradient coordinate.
 const (
-	RoleCounter Role = iota + 1
-	RoleRead
-	RoleUpdate
+	RoleCounter = shm.RoleCounter
+	RoleRead    = shm.RoleRead
+	RoleUpdate  = shm.RoleUpdate
 	// RoleProbe marks an auxiliary read of the iteration counter used by
 	// staleness-aware workers to estimate their own delay; it is not part
 	// of the Algorithm-1 iteration structure and is ignored by the
 	// tracker.
-	RoleProbe
+	RoleProbe = shm.RoleProbe
 	// RoleGate marks the synchronization operations of the gated
 	// disciplines (bounded staleness, epoch fencing): reads of the shared
 	// done-counter while waiting at the entry gate or waiting to publish a
@@ -41,40 +46,16 @@ const (
 	// for, so an adversary can tell a blocked thread from a passable one.
 	// Like RoleProbe it is not part of the Algorithm-1 iteration structure
 	// and is ignored by the tracker.
-	RoleGate
+	RoleGate = shm.RoleGate
 )
-
-// String returns the role name.
-func (r Role) String() string {
-	switch r {
-	case RoleCounter:
-		return "counter"
-	case RoleRead:
-		return "read"
-	case RoleUpdate:
-		return "update"
-	case RoleProbe:
-		return "probe"
-	case RoleGate:
-		return "gate"
-	default:
-		return fmt.Sprintf("Role(%d)", uint8(r))
-	}
-}
 
 // Tag annotates one shared-memory operation with its place in the SGD
 // execution. Thread is the issuing thread; Iter is the thread-local
 // iteration number (0-based); Coord is the model coordinate for reads and
 // updates; First/Last mark the first and last model update of the
-// iteration (First defines the paper's total order on iterations).
-type Tag struct {
-	Thread int
-	Iter   int
-	Role   Role
-	Coord  int
-	First  bool
-	Last   bool
-}
+// iteration (First defines the paper's total order on iterations). It
+// aliases shm.Tag, the concrete annotation embedded in shm.Request.
+type Tag = shm.Tag
 
 // coordTime is one touched coordinate with the machine time of the touch.
 // Iterations store their reads and updates as coordTime lists — the same
@@ -112,12 +93,21 @@ func (it *iter) readTimeOf(coord int) int {
 // paper's contention statistics afterwards. Create with NewTracker, feed
 // with Begin/Read/Update/End (or Observe), then call Finalize once.
 // Tracker is not safe for concurrent use; the shm machine is sequential.
+//
+// The record path is allocation-free in steady state: iterations are
+// looked up through per-thread dense tables (thread-local iteration
+// numbers are sequential, so byThread[thread][localIter] replaces a
+// map[[2]int]int lookup and its hashing on every observed step), and
+// retired iter records — including their reads/updates slices — are
+// recycled through an internal free list when the tracker is Reset for
+// the next epoch.
 type Tracker struct {
-	d      int
-	iters  []*iter
-	byKey  map[[2]int]int // (thread, localIter) -> index into iters
-	final  bool
-	clockS int // latest observed time, for incomplete iterations
+	d        int
+	iters    []*iter
+	byThread [][]int32 // byThread[thread][localIter] -> index into iters (-1 absent)
+	recPool  []*iter   // retired records for reuse across Reset cycles
+	final    bool
+	clockS   int // latest observed time, for incomplete iterations
 
 	// Populated by Finalize:
 	ordered []*iter // complete iterations in paper order
@@ -126,19 +116,71 @@ type Tracker struct {
 
 // NewTracker returns a tracker for a model of dimension d.
 func NewTracker(d int) *Tracker {
-	return &Tracker{d: d, byKey: make(map[[2]int]int)}
+	return &Tracker{d: d}
+}
+
+// Reset returns the tracker to its initial state for a model of dimension
+// d, retiring every iteration record (and its touched-coordinate slices)
+// into an internal pool for reuse. A run loop that tracks many epochs can
+// therefore reuse one Tracker with zero amortized allocations on the
+// record path.
+func (tr *Tracker) Reset(d int) {
+	for _, it := range tr.iters {
+		it.reads = it.reads[:0]
+		it.updates = it.updates[:0]
+		*it = iter{reads: it.reads, updates: it.updates}
+	}
+	tr.recPool = append(tr.recPool, tr.iters...)
+	tr.iters = tr.iters[:0]
+	for i := range tr.byThread {
+		tr.byThread[i] = tr.byThread[i][:0]
+	}
+	tr.ordered = tr.ordered[:0]
+	tr.taus = tr.taus[:0]
+	tr.final = false
+	tr.clockS = 0
+	tr.d = d
+}
+
+// newIter returns a zeroed iteration record, reusing a retired one (with
+// its slice capacity) when available.
+func (tr *Tracker) newIter() *iter {
+	if n := len(tr.recPool); n > 0 {
+		it := tr.recPool[n-1]
+		tr.recPool = tr.recPool[:n-1]
+		return it
+	}
+	return &iter{}
 }
 
 // Begin records the start (counter fetch&add) of iteration localIter of
 // thread at the given machine time.
 func (tr *Tracker) Begin(thread, localIter, time int) {
-	it := &iter{
-		thread:    thread,
-		localIter: localIter,
-		startTime: time,
+	if thread < 0 || localIter < 0 {
+		return
 	}
-	tr.byKey[[2]int{thread, localIter}] = len(tr.iters)
+	it := tr.newIter()
+	it.thread = thread
+	it.localIter = localIter
+	it.startTime = time
+	idx := int32(len(tr.iters))
 	tr.iters = append(tr.iters, it)
+	for thread >= len(tr.byThread) {
+		tr.byThread = append(tr.byThread, nil)
+	}
+	tbl := tr.byThread[thread]
+	switch {
+	case localIter == len(tbl): // the sequential common case: plain append
+		tbl = append(tbl, idx)
+	case localIter < len(tbl): // re-Begin: point at the fresh record
+		tbl[localIter] = idx
+	default: // gap (never produced by the workers): pad with absent slots
+		for len(tbl) < localIter {
+			tbl = append(tbl, -1)
+		}
+		tbl = append(tbl, idx)
+	}
+	tr.byThread[thread] = tbl
 	tr.touch(time)
 }
 
@@ -186,11 +228,14 @@ func (tr *Tracker) End(thread, localIter, time int) {
 }
 
 func (tr *Tracker) get(thread, localIter int) *iter {
-	idx, ok := tr.byKey[[2]int{thread, localIter}]
-	if !ok {
+	if thread < 0 || thread >= len(tr.byThread) {
 		return nil
 	}
-	return tr.iters[idx]
+	tbl := tr.byThread[thread]
+	if localIter < 0 || localIter >= len(tbl) || tbl[localIter] < 0 {
+		return nil
+	}
+	return tr.iters[tbl[localIter]]
 }
 
 func (tr *Tracker) touch(time int) {
@@ -246,7 +291,14 @@ func (tr *Tracker) Finalize() {
 // iterations that completed before t's earliest read are fully visible.
 func (tr *Tracker) computeTaus() {
 	n := len(tr.ordered)
-	tr.taus = make([]int, n)
+	if cap(tr.taus) < n {
+		tr.taus = make([]int, n)
+	} else {
+		tr.taus = tr.taus[:n]
+		for i := range tr.taus {
+			tr.taus[i] = 0
+		}
+	}
 	if n == 0 {
 		return
 	}
@@ -597,13 +649,10 @@ func (tr *Tracker) DelayIndicatorMax() int {
 }
 
 // Observe interprets a tagged shm step and routes it to the appropriate
-// tracker method. Steps without a Tag of type Tag are ignored. This lets a
-// tracker be attached to any machine via Config.OnStep.
-func (tr *Tracker) Observe(thread int, tag any, time int) {
-	tg, ok := tag.(Tag)
-	if !ok {
-		return
-	}
+// tracker method. Untagged steps (zero Role) and roles outside the
+// Algorithm-1 iteration structure are ignored. This lets a tracker be
+// attached to any machine via Config.OnStep.
+func (tr *Tracker) Observe(thread int, tg Tag, time int) {
 	switch tg.Role {
 	case RoleCounter:
 		tr.Begin(tg.Thread, tg.Iter, time)

@@ -185,7 +185,8 @@ func TestObserveRoutesTags(t *testing.T) {
 	for _, s := range seq {
 		tr.Observe(s.tag.Thread, s.tag, s.time)
 	}
-	tr.Observe(0, "not a tag", 6) // ignored
+	tr.Observe(0, Tag{}, 6)                // untagged: ignored
+	tr.Observe(0, Tag{Role: RoleProbe}, 7) // non-iteration role: ignored
 	tr.Finalize()
 	if tr.Iterations() != 1 || tr.Completed() != 1 {
 		t.Errorf("iterations=%d completed=%d", tr.Iterations(), tr.Completed())

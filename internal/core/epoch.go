@@ -27,6 +27,17 @@ type EpochConfig struct {
 	Track      bool      // attach a contention tracker
 	Accumulate bool      // workers also accumulate gradients locally (Alg. 2 last epoch)
 
+	// Tracker supplies a reusable contention tracker for Track runs: it is
+	// Reset (retiring every iteration record and its touched-coordinate
+	// slices into the tracker's internal pool) and used in place of a
+	// fresh one, so a driver running many tracked epochs pays zero
+	// amortized allocations on the tracker's record path. Ignored unless
+	// Track is set; the same tracker must not be used by concurrent runs.
+	// Because the next run's Reset wipes it, the EpochResult.Tracker of
+	// every earlier epoch is invalidated: read (or copy) an epoch's
+	// statistics before starting the next one.
+	Tracker *contention.Tracker
+
 	// Sparse switches workers to the sparse update pipeline: each
 	// iteration reads only the support announced by the oracle's
 	// PlanSparse and fetch&adds only the gradient's non-zeros, so an
@@ -77,7 +88,11 @@ type EpochResult struct {
 	// traffic (counter claims, probes, gate/publish operations on the done
 	// counter) is excluded.
 	CoordOps int64
-	Tracker  *contention.Tracker // nil unless Track
+	// Tracker holds the run's contention tracker (nil unless Track). When
+	// the run used a caller-supplied EpochConfig.Tracker this is that
+	// tracker, and the next run reusing it Resets it — extract any
+	// statistics you need before starting the next tracked epoch.
+	Tracker *contention.Tracker
 	// Records holds completed iterations sorted by first model update —
 	// the paper's total order. Empty unless Record.
 	Records []IterRecord
@@ -183,14 +198,18 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 	var tracker *contention.Tracker
 	var onStep func(shm.Step)
 	if cfg.Track {
-		tracker = contention.NewTracker(d)
+		if cfg.Tracker != nil {
+			tracker = cfg.Tracker
+			tracker.Reset(d)
+		} else {
+			tracker = contention.NewTracker(d)
+		}
 		budget := float64(cfg.TotalIters)
 		onStep = func(s shm.Step) {
 			// A counter claim that lands beyond the budget terminates the
 			// thread (line 3 of Algorithm 1); it is not an SGD iteration
 			// and must not register as a phantom start.
-			if tg, ok := s.Req.Tag.(contention.Tag); ok &&
-				tg.Role == contention.RoleCounter && s.Res.Val >= budget {
+			if s.Req.Tag.Role == contention.RoleCounter && s.Res.Val >= budget {
 				return
 			}
 			tracker.Observe(s.Thread, s.Req.Tag, s.Time)

@@ -141,7 +141,10 @@ type worker struct {
 	cur IterRecord // record under construction
 }
 
-var _ shm.Program = (*worker)(nil)
+var (
+	_ shm.Program        = (*worker)(nil)
+	_ shm.InplaceProgram = (*worker)(nil)
+)
 
 func newWorker(id int, alpha float64, budget int, o grad.Oracle, sparse bool, r *rng.Rand, rec *recorder, accumulate bool, opts workerOpts) *worker {
 	d := o.Dim()
@@ -177,12 +180,23 @@ func newWorker(id int, alpha float64, budget int, o grad.Oracle, sparse bool, r 
 	return w
 }
 
-// Next implements shm.Program, advancing the Algorithm-1 state machine by
-// one shared-memory operation.
+// Next implements shm.Program by delegating to NextInto (kept for
+// non-hot-path callers and interface completeness; the machine uses the
+// in-place path).
 func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
+	var req shm.Request
+	done := w.NextInto(prev, &req)
+	return req, done
+}
+
+// NextInto implements shm.InplaceProgram, advancing the Algorithm-1 state
+// machine by one shared-memory operation. The next request is written
+// directly into *req (the machine's pending slot), so issuing an
+// operation is a handful of stores — no Request copies on the hot path.
+func (w *worker) NextInto(prev shm.Result, req *shm.Request) bool {
 	switch w.phase {
 	case phaseInit:
-		return w.issueCounter()
+		return w.issueCounter(req)
 
 	case phaseCounter:
 		// prev.Val is the prior counter value: line 3 of Algorithm 1.
@@ -190,22 +204,22 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 			if w.opts.batch > 0 && w.batchPending > 0 {
 				// The worker leaves, but its buffered gradients must reach
 				// the model first (the Flusher hook of the real runtime).
-				return w.terminalFlush(prev.Time)
+				return w.terminalFlush(prev.Time, req)
 			}
-			return shm.Request{}, true
+			return true
 		}
 		w.claimed = int(prev.Val)
 		if w.opts.gated() {
 			w.phase = phaseGate
-			return w.issueGateRead()
+			return w.issueGateRead(req)
 		}
-		return w.startIteration(prev.Time)
+		return w.startIteration(prev.Time, req)
 
 	case phaseGate:
 		if int(prev.Val) >= w.gateMin() {
-			return w.startIteration(prev.Time)
+			return w.startIteration(prev.Time, req)
 		}
-		return w.issueGateRead() // still blocked: spin on the done counter
+		return w.issueGateRead(req) // still blocked: spin on the done counter
 
 	case phaseRead:
 		w.coordOps++ // prev is the result of one executed view read
@@ -213,16 +227,16 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 			w.svals = append(w.svals, prev.Val)
 			w.pos++
 			if w.pos < len(w.plan) {
-				return w.issueRead()
+				return w.issueRead(req)
 			}
 		} else {
 			w.view[w.pos] = prev.Val
 			w.pos++
 			if w.pos < w.d {
-				return w.issueRead()
+				return w.issueRead(req)
 			}
 		}
-		return w.gradReady(prev.Time)
+		return w.gradReady(prev.Time, req)
 
 	case phaseProbe:
 		staleness := int(prev.Val) - w.claimed - 1
@@ -230,7 +244,7 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 			staleness = 0
 		}
 		w.alphaEff = w.alpha / (1 + w.opts.stalenessEta*float64(staleness))
-		return w.beginUpdates()
+		return w.beginUpdates(req)
 
 	case phaseUpdate:
 		w.coordOps++ // prev is the result of one executed model fetch&add
@@ -241,21 +255,21 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 			w.cur.LastUp = prev.Time
 		}
 		if w.pos < len(w.nz) {
-			return w.issueUpdate()
+			return w.issueUpdate(req)
 		}
 		// Iteration finished (its last update's result is prev).
 		if w.rec != nil {
 			w.rec.records = append(w.rec.records, w.cur)
 		}
 		if w.finishing {
-			return shm.Request{}, true
+			return true
 		}
-		return w.endIteration()
+		return w.endIteration(req)
 
 	case phasePubRead:
 		if int(prev.Val) >= w.claimed {
 			w.phase = phasePubFAA
-			return shm.Request{
+			*req = shm.Request{
 				Kind: shm.OpFAA,
 				Addr: w.opts.doneAddr,
 				Val:  1,
@@ -263,23 +277,24 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 					Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
 					Coord: w.claimed,
 				},
-			}, false
+			}
+			return false
 		}
-		return w.issuePubRead() // predecessors unpublished: spin
+		return w.issuePubRead(req) // predecessors unpublished: spin
 
 	case phasePubFAA:
 		w.iter++
-		return w.issueCounter()
+		return w.issueCounter(req)
 
 	default:
-		return shm.Request{}, true
+		return true
 	}
 }
 
 // startIteration runs once the iteration's claim (and, for gated
 // disciplines, its gate) is through: draw the sparse plan and issue the
 // first view read, or evaluate immediately on an empty read support.
-func (w *worker) startIteration(now int) (shm.Request, bool) {
+func (w *worker) startIteration(now int, req *shm.Request) bool {
 	w.pos = 0
 	if w.so != nil {
 		w.plan = w.so.PlanSparse(w.r)
@@ -288,23 +303,23 @@ func (w *worker) startIteration(now int) (shm.Request, bool) {
 			// The planned gradient reads nothing: evaluate immediately
 			// (it may still be non-zero only on an empty support, i.e.
 			// identically zero) and move on.
-			return w.gradReady(now)
+			return w.gradReady(now, req)
 		}
 	}
 	w.phase = phaseRead
-	return w.issueRead()
+	return w.issueRead(req)
 }
 
 // endIteration closes the iteration: gated disciplines publish their
 // completion on the done counter (in claim order) before claiming the
 // next iteration; everything else claims directly.
-func (w *worker) endIteration() (shm.Request, bool) {
+func (w *worker) endIteration(req *shm.Request) bool {
 	if w.opts.gated() {
 		w.phase = phasePubRead
-		return w.issuePubRead()
+		return w.issuePubRead(req)
 	}
 	w.iter++
-	return w.issueCounter()
+	return w.issueCounter(req)
 }
 
 // gateMin returns the done-counter value the current claim must wait for:
@@ -322,33 +337,35 @@ func (w *worker) gateMin() int {
 	return (w.claimed / w.opts.fenceEvery) * w.opts.fenceEvery
 }
 
-func (w *worker) issueGateRead() (shm.Request, bool) {
-	return shm.Request{
+func (w *worker) issueGateRead(req *shm.Request) bool {
+	*req = shm.Request{
 		Kind: shm.OpRead,
 		Addr: w.opts.doneAddr,
 		Tag: contention.Tag{
 			Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
 			Coord: w.gateMin(),
 		},
-	}, false
+	}
+	return false
 }
 
-func (w *worker) issuePubRead() (shm.Request, bool) {
-	return shm.Request{
+func (w *worker) issuePubRead(req *shm.Request) bool {
+	*req = shm.Request{
 		Kind: shm.OpRead,
 		Addr: w.opts.doneAddr,
 		Tag: contention.Tag{
 			Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
 			Coord: w.claimed,
 		},
-	}, false
+	}
+	return false
 }
 
 // gradReady runs once the view (dense) or support values (sparse) are
 // complete: generate the stochastic gradient (line 5), fold momentum,
 // snapshot the record, and either probe the counter (staleness-aware
 // extension) or begin the updates.
-func (w *worker) gradReady(genTime int) (shm.Request, bool) {
+func (w *worker) gradReady(genTime int, req *shm.Request) bool {
 	if w.so != nil {
 		w.so.GradSparseAt(&w.sg, w.svals, w.r)
 	} else {
@@ -383,23 +400,24 @@ func (w *worker) gradReady(genTime int) (shm.Request, bool) {
 		// the iteration counter to estimate how stale this gradient
 		// already is, before scaling the step size.
 		w.phase = phaseProbe
-		return shm.Request{
+		*req = shm.Request{
 			Kind: shm.OpRead,
 			Addr: CounterAddr,
 			Tag: contention.Tag{
 				Thread: w.id, Iter: w.iter, Role: contention.RoleProbe,
 			},
-		}, false
+		}
+		return false
 	}
-	return w.beginUpdates()
+	return w.beginUpdates(req)
 }
 
 // beginUpdates finalizes the iteration's applied direction and effective
 // step, records bookkeeping, and issues the first model update (or skips
 // straight to the next iteration on a zero direction).
-func (w *worker) beginUpdates() (shm.Request, bool) {
+func (w *worker) beginUpdates(req *shm.Request) bool {
 	if w.opts.batch > 0 {
-		return w.bufferIntoBatch()
+		return w.bufferIntoBatch(req)
 	}
 	w.nz = w.nz[:0]
 	w.nzv = w.nzv[:0]
@@ -426,18 +444,18 @@ func (w *worker) beginUpdates() (shm.Request, bool) {
 	if len(w.nz) == 0 {
 		// Zero direction: nothing to apply; the iteration contributes
 		// the identity update and is not ordered (no fetch&add).
-		return w.endIteration()
+		return w.endIteration(req)
 	}
 	w.pos = 0
 	w.phase = phaseUpdate
-	return w.issueUpdate()
+	return w.issueUpdate(req)
 }
 
 // bufferIntoBatch folds the fresh gradient into the worker-local batch
 // accumulator (the same arithmetic, in the same coordinate order, as the
 // real runtime's batch stepper) and scatters the whole batch with one
 // fetch&add pass every opts.batch gradients.
-func (w *worker) bufferIntoBatch() (shm.Request, bool) {
+func (w *worker) bufferIntoBatch(req *shm.Request) bool {
 	if w.so != nil {
 		for k, j := range w.sg.Indices {
 			w.batchAdd(j, w.sg.Values[k])
@@ -460,7 +478,7 @@ func (w *worker) bufferIntoBatch() (shm.Request, bool) {
 		// Not full yet: no shared updates, so the iteration is not
 		// ordered (like a zero direction); its mass rides in the flush.
 		w.iter++
-		return w.issueCounter()
+		return w.issueCounter(req)
 	}
 	w.materializeBatch()
 	if w.rec != nil {
@@ -472,11 +490,11 @@ func (w *worker) bufferIntoBatch() (shm.Request, bool) {
 	}
 	if len(w.nz) == 0 {
 		w.iter++
-		return w.issueCounter()
+		return w.issueCounter(req)
 	}
 	w.pos = 0
 	w.phase = phaseUpdate
-	return w.issueUpdate()
+	return w.issueUpdate(req)
 }
 
 func (w *worker) batchAdd(j int, v float64) {
@@ -517,10 +535,10 @@ func (w *worker) batchDense() vec.Dense {
 
 // terminalFlush applies the worker's final partial batch after its
 // closing counter claim landed beyond the budget, then terminates.
-func (w *worker) terminalFlush(now int) (shm.Request, bool) {
+func (w *worker) terminalFlush(now int, req *shm.Request) bool {
 	w.materializeBatch()
 	if len(w.nz) == 0 {
-		return shm.Request{}, true
+		return true
 	}
 	w.finishing = true
 	w.alphaEff = w.alpha
@@ -539,41 +557,43 @@ func (w *worker) terminalFlush(now int) (shm.Request, bool) {
 	}
 	w.pos = 0
 	w.phase = phaseUpdate
-	return w.issueUpdate()
+	return w.issueUpdate(req)
 }
 
-func (w *worker) issueCounter() (shm.Request, bool) {
+func (w *worker) issueCounter(req *shm.Request) bool {
 	w.phase = phaseCounter
-	return shm.Request{
+	*req = shm.Request{
 		Kind: shm.OpFAA,
 		Addr: CounterAddr,
 		Val:  1,
 		Tag: contention.Tag{
 			Thread: w.id, Iter: w.iter, Role: contention.RoleCounter,
 		},
-	}, false
+	}
+	return false
 }
 
-func (w *worker) issueRead() (shm.Request, bool) {
+func (w *worker) issueRead(req *shm.Request) bool {
 	j := w.pos
 	if w.so != nil {
 		j = w.plan[w.pos]
 	}
-	return shm.Request{
+	*req = shm.Request{
 		Kind: shm.OpRead,
 		Addr: ModelBase + j,
 		Tag: contention.Tag{
 			Thread: w.id, Iter: w.iter, Role: contention.RoleRead, Coord: j,
 		},
-	}, false
+	}
+	return false
 }
 
-func (w *worker) issueUpdate() (shm.Request, bool) {
+func (w *worker) issueUpdate(req *shm.Request) bool {
 	j := w.nz[w.pos]
 	first := w.pos == 0
 	last := w.pos == len(w.nz)-1
 	w.pos++
-	return shm.Request{
+	*req = shm.Request{
 		Kind: shm.OpFAA,
 		Addr: ModelBase + j,
 		Val:  -w.alphaEff * w.nzv[w.pos-1],
@@ -581,5 +601,6 @@ func (w *worker) issueUpdate() (shm.Request, bool) {
 			Thread: w.id, Iter: w.iter, Role: contention.RoleUpdate,
 			Coord: j, First: first, Last: last,
 		},
-	}, false
+	}
+	return false
 }

@@ -182,7 +182,7 @@ func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *orderedWindo
 
 func (w *gatedStepper) Step() int {
 	t := w.win.acquire(w.minDone)
-	w.model.Snapshot(w.view)
+	w.model.LoadAll(w.view)
 	w.oracle.Grad(w.g, w.view, w.r)
 	ops := len(w.view)
 	for j, gj := range w.g {
@@ -272,17 +272,15 @@ func (w *batchStepper) Step() int {
 	var ops int
 	if w.so != nil {
 		support := w.so.PlanSparse(w.r)
-		w.vals = w.vals[:0]
-		for _, j := range support {
-			w.vals = append(w.vals, s.model.Load(j))
-		}
+		w.vals = sizedFor(w.vals, len(support))
+		s.model.GatherInto(w.vals, support)
 		w.so.GradSparseAt(&w.sg, w.vals, w.r)
 		ops = len(support)
 		for k, j := range w.sg.Indices {
 			w.accumulate(j, w.sg.Values[k])
 		}
 	} else {
-		s.model.Snapshot(w.view)
+		s.model.LoadAll(w.view)
 		w.oracle.Grad(w.g, w.view, w.r)
 		ops = len(w.view)
 		for j, gj := range w.g {

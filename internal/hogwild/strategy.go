@@ -105,7 +105,7 @@ type lockFreeStepper struct {
 
 func (w *lockFreeStepper) Step() int {
 	m := w.s.model
-	m.Snapshot(w.view)
+	m.LoadAll(w.view)
 	w.oracle.Grad(w.g, w.view, w.r)
 	ops := len(w.view)
 	for j, gj := range w.g {
@@ -157,7 +157,7 @@ type coarseLockStepper struct {
 func (w *coarseLockStepper) Step() int {
 	s := w.s
 	s.mu.Lock()
-	s.model.Snapshot(w.view)
+	s.model.LoadAll(w.view)
 	w.oracle.Grad(w.g, w.view, w.r)
 	ops := len(w.view)
 	for j, gj := range w.g {
@@ -285,13 +285,20 @@ type sparseStepper struct {
 func (w *sparseStepper) Step() int {
 	s := w.s
 	support := w.oracle.PlanSparse(w.r)
-	w.vals = w.vals[:0]
-	for _, j := range support {
-		w.vals = append(w.vals, s.model.Load(j))
-	}
+	w.vals = sizedFor(w.vals, len(support))
+	s.model.GatherInto(w.vals, support)
 	w.oracle.GradSparseAt(&w.g, w.vals, w.r)
 	for k, j := range w.g.Indices {
 		s.model.FetchAdd(j, -s.alpha*w.g.Values[k])
 	}
 	return len(support) + w.g.NNZ()
+}
+
+// sizedFor returns buf resized to length n, reusing its capacity when
+// possible — the alloc-free resize behind the GatherInto fast path.
+func sizedFor(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }

@@ -163,11 +163,10 @@ func pickOther(v *shm.View, exclude []int) int {
 // tagOf extracts the contention tag of thread i's pending op, if any.
 func tagOf(v *shm.View, i int) (contention.Tag, bool) {
 	req, ok := v.Pending(i)
-	if !ok {
+	if !ok || req.Tag.Role == 0 {
 		return contention.Tag{}, false
 	}
-	tg, ok := req.Tag.(contention.Tag)
-	return tg, ok
+	return req.Tag, true
 }
 
 // gateBlocked reports whether thread i is parked at a gated-discipline
@@ -183,9 +182,8 @@ func gateBlocked(v *shm.View, i int) bool {
 	if !ok {
 		return false
 	}
-	tg, ok := req.Tag.(contention.Tag)
-	if !ok || tg.Role != contention.RoleGate || req.Kind != shm.OpRead {
+	if req.Tag.Role != contention.RoleGate || req.Kind != shm.OpRead {
 		return false
 	}
-	return v.Load(req.Addr) < float64(tg.Coord)
+	return v.Load(req.Addr) < float64(req.Tag.Coord)
 }

@@ -117,8 +117,8 @@ func TestStaleGradientHoldsVictimUpdate(t *testing.T) {
 	// must have completed ≥ 6 full iterations (6 Last-updates).
 	lastUpdates := 0
 	for _, s := range m.Trace() {
-		tg, ok := s.Req.Tag.(contention.Tag)
-		if !ok {
+		tg := s.Req.Tag
+		if tg.Role == 0 {
 			continue
 		}
 		if s.Thread == 1 && tg.Role == contention.RoleUpdate {
@@ -156,8 +156,8 @@ func TestMaxStaleInterposesStarts(t *testing.T) {
 	claimAt := map[int]int{} // thread -> index of its latest counter claim
 	counts := map[int]int{}  // thread -> other-thread claims since its claim
 	for _, s := range tr {
-		tg, ok := s.Req.Tag.(contention.Tag)
-		if !ok {
+		tg := s.Req.Tag
+		if tg.Role == 0 {
 			continue
 		}
 		if tg.Role == contention.RoleCounter {

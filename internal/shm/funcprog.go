@@ -28,13 +28,13 @@ type T struct {
 	reqCh  chan Request
 	resCh  chan Result
 	killCh chan struct{}
-	tag    any
+	tag    Tag
 }
 
 type killSentinel struct{}
 
 func (t *T) do(req Request) Result {
-	if req.Tag == nil {
+	if req.Tag == (Tag{}) {
 		req.Tag = t.tag
 	}
 	select {
@@ -74,8 +74,8 @@ func (t *T) CAS(addr int, exp, v float64) (prior float64, swapped bool) {
 }
 
 // Annotate sets the tag attached to subsequent operations (visible to the
-// scheduling policy). Pass nil to clear.
-func (t *T) Annotate(tag any) { t.tag = tag }
+// scheduling policy). Pass the zero Tag to clear.
+func (t *T) Annotate(tag Tag) { t.tag = tag }
 
 type funcProgram struct {
 	body    def

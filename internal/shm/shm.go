@@ -51,13 +51,70 @@ func (k OpKind) String() string {
 	}
 }
 
+// Role classifies a tagged operation within the SGD annotation schema the
+// thread programs and scheduling policies share. The vocabulary is defined
+// here — rather than in internal/contention, which interprets it — so that
+// Request can embed the annotation as a concrete struct: with Tag typed
+// `any`, every issued operation boxed a 40-byte struct into an interface,
+// one heap allocation per simulated step on the machine's hot path.
+// The zero Role marks an untagged operation.
+type Role uint8
+
+// Operation roles. See internal/contention for the full semantics; the
+// names are re-exported there and policies normally refer to the
+// contention aliases.
+const (
+	RoleNone    Role = iota // untagged operation
+	RoleCounter             // iteration-claiming fetch&add on the shared counter
+	RoleRead                // read of one model coordinate (view assembly)
+	RoleUpdate              // fetch&add applying one gradient coordinate
+	RoleProbe               // auxiliary counter read (staleness probe)
+	RoleGate                // gated-discipline synchronization op
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleNone:
+		return "none"
+	case RoleCounter:
+		return "counter"
+	case RoleRead:
+		return "read"
+	case RoleUpdate:
+		return "update"
+	case RoleProbe:
+		return "probe"
+	case RoleGate:
+		return "gate"
+	default:
+		return fmt.Sprintf("Role(%d)", uint8(r))
+	}
+}
+
+// Tag annotates one shared-memory operation with its place in the SGD
+// execution. Thread is the issuing thread; Iter is the thread-local
+// iteration number (0-based); Coord is the model coordinate for reads and
+// updates (and carries the done-counter threshold for gate operations);
+// First/Last mark the first and last model update of the iteration (First
+// defines the paper's total order on iterations). The zero Tag (Role ==
+// RoleNone) means "untagged".
+type Tag struct {
+	Thread int
+	Iter   int
+	Role   Role
+	Coord  int
+	First  bool
+	Last   bool
+}
+
 // Request is one pending shared-memory operation issued by a thread.
 type Request struct {
 	Kind OpKind
 	Addr int     // register index
 	Val  float64 // write value / fetch&add delta / CAS new value
 	Exp  float64 // CAS expected value
-	Tag  any     // caller annotation, visible to the scheduling policy
+	Tag  Tag     // annotation, visible to the scheduling policy (zero = none)
 }
 
 // Result is the outcome of an executed operation, delivered to the issuing
@@ -84,6 +141,23 @@ type Step struct {
 // must come from a seeded generator owned by the program.
 type Program interface {
 	Next(prev Result) (req Request, done bool)
+}
+
+// InplaceProgram is an optional Program extension for hot-path thread
+// bodies: NextInto writes the thread's next request directly into *req —
+// the machine passes a pointer to the thread's pending slot — instead of
+// returning it by value. This removes two Request copies per step (the
+// return-value fill and the pending-slot store; Request is several words
+// now that Tag is embedded concretely). Implementations must overwrite
+// every field they rely on: *req still holds the previously issued
+// request on entry. When NextInto returns true the thread has terminated
+// and the slot's contents are ignored.
+//
+// The machine detects the extension once at construction; Programs that
+// don't implement it go through Next as before.
+type InplaceProgram interface {
+	Program
+	NextInto(prev Result, req *Request) (done bool)
 }
 
 // Stopper is implemented by Programs that own background resources (the
@@ -126,15 +200,7 @@ func (v *View) Crashed(i int) bool { return v.m.crashed[i] }
 func (v *View) Live(i int) bool { return !v.m.done[i] && !v.m.crashed[i] }
 
 // LiveCount returns the number of schedulable threads.
-func (v *View) LiveCount() int {
-	c := 0
-	for i := range v.m.progs {
-		if v.Live(i) {
-			c++
-		}
-	}
-	return c
-}
+func (v *View) LiveCount() int { return v.m.live }
 
 // Load lets the adversary inspect register addr.
 func (v *View) Load(addr int) float64 { return v.m.mem[addr] }
@@ -177,16 +243,19 @@ type RunStats struct {
 // Machine is one simulated shared-memory execution. Create with New, drive
 // with Run. A Machine is single-use and not safe for concurrent use.
 type Machine struct {
-	cfg     Config
-	policy  Policy
-	progs   []Program
-	mem     []float64
-	pending []Request
-	done    []bool
-	crashed []bool
-	steps   int
-	trace   []Step
-	ran     bool
+	cfg        Config
+	policy     Policy
+	progs      []Program
+	inplace    []InplaceProgram // inplace[i] non-nil ⇒ progs[i] supports NextInto
+	mem        []float64
+	pending    []Request
+	done       []bool
+	crashed    []bool
+	steps      int
+	live       int // schedulable threads, maintained incrementally
+	numCrashed int
+	trace      []Step
+	ran        bool
 }
 
 // Validation errors returned by Run.
@@ -215,10 +284,17 @@ func New(cfg Config, policy Policy, progs ...Program) (*Machine, error) {
 		}
 		copy(mem, cfg.InitMem)
 	}
+	inplace := make([]InplaceProgram, len(progs))
+	for i, p := range progs {
+		if ip, ok := p.(InplaceProgram); ok {
+			inplace[i] = ip
+		}
+	}
 	return &Machine{
 		cfg:     cfg,
 		policy:  policy,
 		progs:   progs,
+		inplace: inplace,
 		mem:     mem,
 		pending: make([]Request, len(progs)),
 		done:    make([]bool, len(progs)),
@@ -240,6 +316,13 @@ func (m *Machine) Trace() []Step { return m.trace }
 // Run executes the machine until every live thread terminates, the policy
 // crashes all remaining threads, or MaxSteps is reached. It releases any
 // Func-adapted goroutines before returning.
+//
+// The grant→execute→record loop is flattened into a single function so the
+// per-step constant stays small: the machine maintains its live count
+// incrementally (no O(n) scan per step), skips crash processing when the
+// decision carries none, builds the Step record only for consumers (trace,
+// OnStep), and allocates nothing per step — the concrete Request.Tag means
+// issuing an annotated operation is a plain struct copy.
 func (m *Machine) Run() (RunStats, error) {
 	if m.ran {
 		return RunStats{}, ErrAlreadyRan
@@ -255,6 +338,12 @@ func (m *Machine) Run() (RunStats, error) {
 
 	// Prime every thread with its first request.
 	for i, p := range m.progs {
+		if ip := m.inplace[i]; ip != nil {
+			if ip.NextInto(Result{}, &m.pending[i]) {
+				m.done[i] = true
+			}
+			continue
+		}
 		req, done := p.Next(Result{})
 		if done {
 			m.done[i] = true
@@ -262,42 +351,86 @@ func (m *Machine) Run() (RunStats, error) {
 		}
 		m.pending[i] = req
 	}
+	m.live = 0
+	for i := range m.progs {
+		if !m.done[i] && !m.crashed[i] {
+			m.live++
+		}
+	}
 
-	view := &View{m: m}
-	for {
-		if m.liveCount() == 0 {
-			break
+	var (
+		view     = &View{m: m}
+		policy   = m.policy
+		mem      = m.mem
+		maxSteps = m.cfg.MaxSteps
+		hook     = m.cfg.OnStep
+		tracing  = m.cfg.Trace
+	)
+	for m.live > 0 && (maxSteps == 0 || m.steps < maxSteps) {
+		d := policy.Next(view)
+		if len(d.Crash) > 0 {
+			if err := m.applyCrashes(d.Crash); err != nil {
+				return m.stats(), err
+			}
+			if m.live == 0 {
+				break
+			}
 		}
-		if m.cfg.MaxSteps > 0 && m.steps >= m.cfg.MaxSteps {
-			break
-		}
-		d := m.policy.Next(view)
-		if err := m.applyCrashes(d.Crash); err != nil {
-			return m.stats(), err
-		}
-		if m.liveCount() == 0 {
-			break
-		}
-		if d.Thread < 0 || d.Thread >= len(m.progs) ||
-			m.done[d.Thread] || m.crashed[d.Thread] {
+		tid := d.Thread
+		if tid < 0 || tid >= len(m.progs) || m.done[tid] || m.crashed[tid] {
 			return m.stats(), fmt.Errorf("thread %d at step %d: %w",
-				d.Thread, m.steps, ErrBadThread)
+				tid, m.steps, ErrBadThread)
 		}
-		if err := m.execute(d.Thread); err != nil {
-			return m.stats(), err
+
+		// Execute the granted operation in place.
+		req := &m.pending[tid]
+		if req.Addr < 0 || req.Addr >= len(mem) {
+			return m.stats(), fmt.Errorf("thread %d op %s addr %d (mem %d): %w",
+				tid, req.Kind, req.Addr, len(mem), ErrBadAddress)
+		}
+		m.steps++
+		res := Result{Valid: true, Time: m.steps}
+		old := mem[req.Addr]
+		switch req.Kind {
+		case OpRead:
+			res.Val = old
+		case OpWrite:
+			mem[req.Addr] = req.Val
+			res.Val = old
+		case OpFAA:
+			mem[req.Addr] = old + req.Val
+			res.Val = old
+		case OpCAS:
+			res.Val = old
+			if old == req.Exp {
+				mem[req.Addr] = req.Val
+				res.OK = true
+			}
+		default:
+			return m.stats(), fmt.Errorf("thread %d: unknown op kind %d", tid, req.Kind)
+		}
+		if tracing {
+			m.trace = append(m.trace, Step{Time: m.steps, Thread: tid, Req: *req, Res: res})
+		}
+		if hook != nil {
+			hook(Step{Time: m.steps, Thread: tid, Req: *req, Res: res})
+		}
+		var done bool
+		if ip := m.inplace[tid]; ip != nil {
+			done = ip.NextInto(res, req)
+		} else {
+			var next Request
+			next, done = m.progs[tid].Next(res)
+			if !done {
+				m.pending[tid] = next
+			}
+		}
+		if done {
+			m.done[tid] = true
+			m.live--
 		}
 	}
 	return m.stats(), nil
-}
-
-func (m *Machine) liveCount() int {
-	c := 0
-	for i := range m.progs {
-		if !m.done[i] && !m.crashed[i] {
-			c++
-		}
-	}
-	return c
 }
 
 func (m *Machine) applyCrashes(crash []int) error {
@@ -307,59 +440,12 @@ func (m *Machine) applyCrashes(crash []int) error {
 		}
 		// The model allows crashing at most n-1 threads overall; enforce
 		// it so adversaries cannot trivially halt progress forever.
-		crashedSoFar := 0
-		for _, c := range m.crashed {
-			if c {
-				crashedSoFar++
-			}
-		}
-		if crashedSoFar >= len(m.progs)-1 {
+		if m.numCrashed >= len(m.progs)-1 {
 			return ErrTooManyDead
 		}
 		m.crashed[i] = true
-	}
-	return nil
-}
-
-func (m *Machine) execute(tid int) error {
-	req := m.pending[tid]
-	if req.Addr < 0 || req.Addr >= len(m.mem) {
-		return fmt.Errorf("thread %d op %s addr %d (mem %d): %w",
-			tid, req.Kind, req.Addr, len(m.mem), ErrBadAddress)
-	}
-	m.steps++
-	res := Result{Valid: true, Time: m.steps}
-	old := m.mem[req.Addr]
-	switch req.Kind {
-	case OpRead:
-		res.Val = old
-	case OpWrite:
-		m.mem[req.Addr] = req.Val
-		res.Val = old
-	case OpFAA:
-		m.mem[req.Addr] = old + req.Val
-		res.Val = old
-	case OpCAS:
-		res.Val = old
-		if old == req.Exp {
-			m.mem[req.Addr] = req.Val
-			res.OK = true
-		}
-	default:
-		return fmt.Errorf("thread %d: unknown op kind %d", tid, req.Kind)
-	}
-	step := Step{Time: m.steps, Thread: tid, Req: req, Res: res}
-	if m.cfg.Trace {
-		m.trace = append(m.trace, step)
-	}
-	if m.cfg.OnStep != nil {
-		m.cfg.OnStep(step)
-	}
-	next, done := m.progs[tid].Next(res)
-	if done {
-		m.done[tid] = true
-	} else {
-		m.pending[tid] = next
+		m.numCrashed++
+		m.live--
 	}
 	return nil
 }

@@ -261,9 +261,9 @@ func TestNewValidation(t *testing.T) {
 func TestTraceAndOnStep(t *testing.T) {
 	var hookSteps []Step
 	prog := Func(func(th *T) {
-		th.Annotate("iter0")
+		th.Annotate(Tag{Role: RoleCounter, Iter: 7})
 		th.FAA(0, 2)
-		th.Annotate(nil)
+		th.Annotate(Tag{})
 		th.Read(0)
 	})
 	m, err := New(Config{
@@ -280,10 +280,10 @@ func TestTraceAndOnStep(t *testing.T) {
 	if len(tr) != 2 || len(hookSteps) != 2 {
 		t.Fatalf("trace %d hook %d", len(tr), len(hookSteps))
 	}
-	if tr[0].Req.Kind != OpFAA || tr[0].Req.Tag != "iter0" {
+	if tr[0].Req.Kind != OpFAA || tr[0].Req.Tag != (Tag{Role: RoleCounter, Iter: 7}) {
 		t.Errorf("step0 = %+v", tr[0].Req)
 	}
-	if tr[1].Req.Kind != OpRead || tr[1].Req.Tag != nil {
+	if tr[1].Req.Kind != OpRead || tr[1].Req.Tag != (Tag{}) {
 		t.Errorf("step1 = %+v", tr[1].Req)
 	}
 	if tr[0].Time != 1 || tr[1].Time != 2 {
