@@ -32,6 +32,7 @@ import (
 	"asyncsgd/internal/rng"
 	"asyncsgd/internal/sched"
 	"asyncsgd/internal/shm"
+	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/vec"
 )
 
@@ -307,6 +308,77 @@ func SlowdownFactor(alpha float64, tau int) float64 {
 	return martingale.SlowdownFactor(alpha, tau)
 }
 
+// --- scenario sweeps --------------------------------------------------------
+
+type (
+	// SweepSpec declares a scenario grid for the concurrent sweep engine:
+	// axes over runtime, oracle family, strategy/discipline, workers,
+	// dimension, step size and seed replicates.
+	SweepSpec = sweep.Spec
+	// SweepRuntime selects a cell's runtime (real goroutines or the
+	// deterministic simulated machine).
+	SweepRuntime = sweep.Runtime
+	// SweepOracle is one oracle-family axis entry (a named factory).
+	SweepOracle = sweep.Oracle
+	// SweepStrategy is one strategy/discipline axis entry, mapped onto
+	// both runtimes; the SweepLockFree/SweepBoundedStaleness/… helpers
+	// below build the standard roster.
+	SweepStrategy = sweep.Strategy
+	// SweepCell is one fully resolved grid coordinate with its split seed.
+	SweepCell = sweep.Cell
+	// SweepCellResult is one cell's outcome (deterministic except timing
+	// fields on the machine runtime).
+	SweepCellResult = sweep.CellResult
+	// SweepPointStat aggregates a grid point's seed replicates (Welford
+	// mean/variance of loss and dist², worst staleness).
+	SweepPointStat = sweep.PointStat
+)
+
+// Sweep runtimes.
+const (
+	SweepHogwild = sweep.Hogwild
+	SweepMachine = sweep.Machine
+)
+
+// The standard strategy-axis roster, mapped onto both runtimes (the
+// same strategy↔machine-discipline pairing the differential harness
+// checks).
+
+// SweepLockFree is plain dense Algorithm 1 on both runtimes.
+func SweepLockFree() SweepStrategy { return sweep.LockFree() }
+
+// SweepCoarseLock is the consistent locking baseline.
+func SweepCoarseLock() SweepStrategy { return sweep.CoarseLock() }
+
+// SweepStripedLock guards coordinates with a striped lock table.
+func SweepStripedLock(stripes int) SweepStrategy { return sweep.StripedLock(stripes) }
+
+// SweepSparseLockFree is the sparse-aware Algorithm 1 (O(nnz) shared
+// ops; requires SparseOracle-capable oracle families).
+func SweepSparseLockFree() SweepStrategy { return sweep.SparseLockFree() }
+
+// SweepBoundedStaleness is the τ-gated discipline on both runtimes.
+func SweepBoundedStaleness(tau int) SweepStrategy { return sweep.BoundedStaleness(tau) }
+
+// SweepUpdateBatching buffers b gradients per worker before one scatter
+// pass.
+func SweepUpdateBatching(b int) SweepStrategy { return sweep.UpdateBatching(b) }
+
+// SweepEpochFence fences the iteration stream into epochs of the given
+// length.
+func SweepEpochFence(every int) SweepStrategy { return sweep.EpochFence(every) }
+
+// RunSweep expands the spec into cells with deterministic per-cell seeds
+// and executes them on a bounded GOMAXPROCS-aware pool, returning results
+// in cell-index order. See internal/sweep (DESIGN.md §5).
+func RunSweep(s SweepSpec) ([]SweepCellResult, error) { return sweep.Run(s) }
+
+// AggregateSweep groups cell results by grid point, folding seed
+// replicates into Welford accumulators.
+func AggregateSweep(results []SweepCellResult) []SweepPointStat {
+	return sweep.Aggregate(results)
+}
+
 // --- experiments ------------------------------------------------------------
 
 // ExperimentScale selects Quick (tests) or Full (reproduction runs).
@@ -318,7 +390,7 @@ const (
 	FullScale = experiments.Full
 )
 
-// ExperimentIDs lists the available experiments (e1..e16).
+// ExperimentIDs lists the available experiments (e1..e17).
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment executes one experiment and writes its tables to w.

@@ -90,6 +90,59 @@ func BenchmarkE15SparsePipeline(b *testing.B) { benchExperiment(b, "e15") }
 // (capping the Section-5 adversary's τ at runtime).
 func BenchmarkE16StalenessGate(b *testing.B) { benchExperiment(b, "e16") }
 
+// BenchmarkE17PhaseDiagram regenerates the staleness phase diagram (the
+// sweep engine over a τ × workers × sparsity × replicates grid on both
+// runtimes).
+func BenchmarkE17PhaseDiagram(b *testing.B) { benchExperiment(b, "e17") }
+
+// BenchmarkSweepMachineGrid measures the sweep engine proper: one op is a
+// 24-cell deterministic machine grid (2 τ × 2 threads × 3 replicates ×
+// 2 oracles) through expansion, the weighted pool, and aggregation —
+// the per-cell overhead the engine adds on top of the runtimes.
+func BenchmarkSweepMachineGrid(b *testing.B) {
+	quad := SweepOracle{
+		Name: "iso-quad",
+		Make: func(int, *Rand) (Oracle, Dense, error) {
+			o, err := NewIsoQuadratic(8, 1, 0.3, 3, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return o, NewDense(8), nil
+		},
+	}
+	noisy := quad
+	noisy.Name = "iso-quad-noisy"
+	spec := SweepSpec{
+		Name:     "bench",
+		Seed:     12,
+		Runtimes: []SweepRuntime{SweepMachine},
+		Oracles:  []SweepOracle{quad, noisy},
+		Strategies: []SweepStrategy{{
+			Name:    "bounded-staleness/tau=2",
+			Machine: func(cfg *EpochConfig) { cfg.StalenessBound = 2 },
+			Tau:     2,
+		}, {
+			Name:    "lock-free",
+			Machine: func(*EpochConfig) {},
+		}},
+		Workers:    []int{1, 3},
+		Alphas:     []float64{0.05},
+		Replicates: 3,
+		Iters:      50,
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := RunSweep(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(AggregateSweep(results)) == 0 {
+			b.Fatal("no aggregated points")
+		}
+	}
+}
+
 // --- substrate microbenchmarks -------------------------------------------
 
 // BenchmarkMachineStep measures the simulated shared-memory machine's cost

@@ -1,5 +1,5 @@
 // Command asgdbench regenerates the paper's quantitative results. Each
-// experiment id (e1..e16) maps to one theorem, lemma, figure, discussion
+// experiment id (e1..e17) maps to one theorem, lemma, figure, discussion
 // point or runtime claim; see DESIGN.md §3 for the index.
 //
 // Usage:
@@ -10,10 +10,21 @@
 //	asgdbench -exp e16 -scale full   # bounded-staleness gate vs the adversary
 //	asgdbench -exp e2,e5 -json       # machine-readable results on stdout
 //
-// With -json, output is a single JSON document (schema asgdbench/v1):
-// one record per experiment with its id, title, wall-clock seconds and
-// captured report text — the format BENCH_*.json trajectory files and CI
-// comparisons consume.
+// The sweep subcommand runs the staleness phase diagram (a
+// bounded-staleness τ × workers × sparsity × replicates grid) through the
+// concurrent scenario-sweep engine and prints the aggregated table:
+//
+//	asgdbench sweep                                   # default ≥100-cell machine grid
+//	asgdbench sweep -taus 1,2,4 -workers 2,4 -reps 5  # custom axes
+//	asgdbench sweep -runtime hogwild -json            # real threads, JSON records
+//
+// With -json, output is a single JSON document (schema asgdbench/v2, a
+// superset of v1): one record per experiment with its id, title,
+// wall-clock seconds and captured report text, plus — for the sweep
+// subcommand — a `sweep` record with the spec identity and one
+// machine-readable result per cell. On the default machine runtime the
+// sweep document is byte-identical across reruns of the same spec+seed,
+// modulo the timing fields (seconds, updates_per_sec).
 package main
 
 import (
@@ -23,10 +34,12 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"asyncsgd/internal/experiments"
+	"asyncsgd/internal/sweep"
 )
 
 func main() {
@@ -44,16 +57,33 @@ type jsonResult struct {
 	Output  string  `json:"output"`
 }
 
-// jsonReport is the top-level -json document.
+// jsonSweep is the sweep record of the v2 schema: the spec identity, the
+// aggregated table text, and one record per cell in deterministic
+// cell-index order.
+type jsonSweep struct {
+	Name    string             `json:"name"`
+	Seed    uint64             `json:"seed"`
+	Cells   int                `json:"cells"`
+	Seconds float64            `json:"seconds"`
+	Table   string             `json:"table"`
+	Results []sweep.CellResult `json:"results"`
+}
+
+// jsonReport is the top-level -json document (schema asgdbench/v2: v1's
+// experiment records plus the optional sweep record).
 type jsonReport struct {
 	Schema  string       `json:"schema"`
-	Scale   string       `json:"scale"`
-	Results []jsonResult `json:"results"`
+	Scale   string       `json:"scale,omitempty"`
+	Results []jsonResult `json:"results,omitempty"`
+	Sweep   *jsonSweep   `json:"sweep,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "sweep" {
+		return runSweep(args[1:], out)
+	}
 	fs := flag.NewFlagSet("asgdbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e16), comma list, or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e17), comma list, or 'all'")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	list := fs.Bool("list", false, "list experiments and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON results instead of report text")
@@ -95,7 +125,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	report := jsonReport{Schema: "asgdbench/v1", Scale: *scaleName}
+	report := jsonReport{Schema: sweep.SchemaV2, Scale: *scaleName}
 	for _, id := range ids {
 		title, err := experiments.TitleOf(id)
 		if err != nil {
@@ -113,7 +143,161 @@ func run(args []string, out io.Writer) error {
 			Output:  buf.String(),
 		})
 	}
+	return writeJSON(out, report)
+}
+
+// runSweep is the sweep subcommand: build the phase-diagram spec from the
+// axis flags, run it on the pool, and emit the aggregated table (text) or
+// the full v2 document with per-cell records (-json).
+func runSweep(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asgdbench sweep", flag.ContinueOnError)
+	taus := fs.String("taus", "1,2,4,8", "bounded-staleness gate values (comma list)")
+	workers := fs.String("workers", "1,2,4", "worker/thread counts (comma list)")
+	keeps := fs.String("sparsity", "0.15,0.3,0.6", "oracle row densities (comma list)")
+	dim := fs.Int("d", 32, "model dimension")
+	reps := fs.Int("reps", 3, "seed replicates per grid point")
+	iters := fs.Int("iters", 400, "iterations per cell")
+	seed := fs.Uint64("seed", 1701, "spec seed (per-cell seeds are split from it)")
+	adversary := fs.Int("adversary", 24, "machine runtime: MaxStale budget (0 = round-robin)")
+	runtimeName := fs.String("runtime", "machine", "cell runtime: machine, hogwild or both")
+	asJSON := fs.Bool("json", false, "emit the asgdbench/v2 JSON document with per-cell records")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tauVals, err := parseInts(*taus)
+	if err != nil {
+		return fmt.Errorf("-taus: %w", err)
+	}
+	workerVals, err := parseInts(*workers)
+	if err != nil {
+		return fmt.Errorf("-workers: %w", err)
+	}
+	keepVals, err := parseFloats(*keeps)
+	if err != nil {
+		return fmt.Errorf("-sparsity: %w", err)
+	}
+	if *reps < 1 {
+		return fmt.Errorf("-reps %d: want ≥ 1", *reps)
+	}
+	var runtimes []sweep.Runtime
+	switch *runtimeName {
+	case "machine":
+		runtimes = []sweep.Runtime{sweep.Machine}
+	case "hogwild":
+		runtimes = []sweep.Runtime{sweep.Hogwild}
+	case "both":
+		runtimes = []sweep.Runtime{sweep.Machine, sweep.Hogwild}
+	default:
+		return fmt.Errorf("unknown runtime %q (want machine, hogwild or both)", *runtimeName)
+	}
+
+	start := time.Now()
+	var all []sweep.CellResult
+	var names []string
+	for _, rt := range runtimes {
+		spec, err := experiments.PhaseDiagramSpec(experiments.PhaseOpts{
+			Runtime:    rt,
+			Taus:       tauVals,
+			Workers:    workerVals,
+			Keeps:      keepVals,
+			Dim:        *dim,
+			Replicates: *reps,
+			Iters:      *iters,
+			Seed:       *seed,
+			Adversary:  *adversary,
+		})
+		if err != nil {
+			return err
+		}
+		names = append(names, spec.Name)
+		results, err := sweep.Run(spec)
+		if err != nil {
+			return err
+		}
+		// Re-index so the combined document has unique cell indices when
+		// -runtime both concatenates two specs.
+		for i := range results {
+			results[i].Index += len(all)
+		}
+		all = append(all, results...)
+	}
+	elapsed := time.Since(start)
+	failed := 0
+	for _, r := range all {
+		if r.Err != "" {
+			failed++
+		}
+	}
+
+	// The note stays timing-free so the JSON document's table field is
+	// byte-identical across reruns; wall-clock lives in the seconds fields
+	// (and the text footer).
+	tbl := sweep.Table("staleness phase diagram (sweep engine)", sweep.Aggregate(all))
+	tbl.Note = fmt.Sprintf("%d cells; τ=%v × workers=%v × keep=%v × %d replicates",
+		len(all), tauVals, workerVals, keepVals, *reps)
+	if !*asJSON {
+		if err := tbl.Fprint(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "ran %d cells in %.2fs\n", len(all), elapsed.Seconds())
+		for _, r := range all {
+			if r.Err != "" {
+				fmt.Fprintf(out, "cell %d (%s/%s) failed: %s\n",
+					r.Index, r.Runtime, r.Strategy, r.Err)
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("%d/%d cells failed", failed, len(all))
+		}
+		return nil
+	}
+	if err := writeJSON(out, jsonReport{
+		Schema: sweep.SchemaV2,
+		Sweep: &jsonSweep{
+			Name:    strings.Join(names, "+"),
+			Seed:    *seed,
+			Cells:   len(all),
+			Seconds: elapsed.Seconds(),
+			Table:   tbl.String(),
+			Results: all,
+		},
+	}); err != nil {
+		return err
+	}
+	// The JSON document records per-cell Err fields, but a failed sweep
+	// must still fail the command (scripts gate on exit status).
+	if failed > 0 {
+		return fmt.Errorf("%d/%d cells failed", failed, len(all))
+	}
+	return nil
+}
+
+func writeJSON(out io.Writer, doc jsonReport) error {
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
-	return enc.Encode(report)
+	return enc.Encode(doc)
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }

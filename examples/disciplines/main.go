@@ -54,7 +54,9 @@ func run() error {
 		}
 		staleness := "-"
 		if sb, ok := strat.(asyncsgd.StalenessBounded); ok {
-			staleness = fmt.Sprintf("%d (≤ τ=%d)", sb.ObservedMaxStaleness(), sb.TauBound())
+			// The run's Result carries the gauge; the strategy is only
+			// consulted for the enforced bound.
+			staleness = fmt.Sprintf("%d (≤ τ=%d)", res.MaxStaleness, sb.TauBound())
 		}
 		fmt.Printf("%20s  %12.0f  %14.1f  %10.4f  %s\n",
 			res.Strategy, res.UpdatesPerSec,

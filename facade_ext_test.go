@@ -90,6 +90,61 @@ func TestPublicAPIParallelFull(t *testing.T) {
 	if res.FinalDist > 3*math.Sqrt(0.1) {
 		t.Errorf("real-thread FullSGD distance %v", res.FinalDist)
 	}
+	if res.Iters <= 0 || res.CoordOps <= 0 || res.Elapsed <= 0 {
+		t.Errorf("FullResult telemetry missing: %d iters, %d ops, %v elapsed",
+			res.Iters, res.CoordOps, res.Elapsed)
+	}
+}
+
+// TestPublicAPISweep drives the scenario-sweep engine through the facade:
+// a small τ × workers grid with replicates on the deterministic machine
+// runtime, aggregated into per-point Welford statistics.
+func TestPublicAPISweep(t *testing.T) {
+	quad := SweepOracle{
+		Name: "iso-quad",
+		Make: func(int, *Rand) (Oracle, Dense, error) {
+			o, err := NewIsoQuadratic(6, 1, 0.3, 3, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return o, Dense{1, 1, 1, 1, 1, 1}, nil
+		},
+	}
+	tau := 2
+	results, err := RunSweep(SweepSpec{
+		Name:       "facade-smoke",
+		Seed:       17,
+		Runtimes:   []SweepRuntime{SweepMachine},
+		Oracles:    []SweepOracle{quad},
+		Strategies: []SweepStrategy{SweepBoundedStaleness(tau)},
+		Workers:    []int{1, 3},
+		Alphas:     []float64{0.05},
+		Replicates: 2,
+		Iters:      80,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("expected 4 cells, got %d", len(results))
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			t.Fatalf("cell %d: %s", r.Index, r.Err)
+		}
+		if r.MaxStaleness > tau {
+			t.Errorf("cell %d: staleness %d exceeds τ=%d", r.Index, r.MaxStaleness, tau)
+		}
+	}
+	stats := AggregateSweep(results)
+	if len(stats) != 2 {
+		t.Fatalf("expected 2 grid points, got %d", len(stats))
+	}
+	for _, p := range stats {
+		if p.N != 2 {
+			t.Errorf("point %+v: %d replicates folded, want 2", p.Cell, p.N)
+		}
+	}
 }
 
 func TestPublicAPISparsePipeline(t *testing.T) {

@@ -111,7 +111,7 @@ func TestPublicAPIDataAndExperiments(t *testing.T) {
 	if ls.Constants().C <= 0 {
 		t.Error("derived constants broken")
 	}
-	if got := len(ExperimentIDs()); got != 16 {
+	if got := len(ExperimentIDs()); got != 17 {
 		t.Errorf("experiments = %d", got)
 	}
 	var buf bytes.Buffer

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"fmt"
+
 	"asyncsgd/internal/core"
 	"asyncsgd/internal/grad"
-	"asyncsgd/internal/hogwild"
 	"asyncsgd/internal/martingale"
 	"asyncsgd/internal/report"
 	"asyncsgd/internal/sched"
+	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/vec"
 )
 
@@ -106,51 +108,48 @@ func E16StalenessGate(s Scale) ([]*report.Table, error) {
 	}
 
 	// --- (c) the disciplines on real threads ------------------------------
-	iters := s.pick(20000, 200000)
-	c := report.New("E16c: synchronization disciplines, real threads",
-		"strategy", "param", "updates/sec", "coord_ops/iter", "final_dist2",
-		"staleness", "bound_holds")
-	c.Note = "iso quadratic d=16, 4 workers; staleness is the gated strategies' observed gauge"
-	runs := []struct {
-		name  string
-		param string
-		mk    func() hogwild.Strategy
-		bound int // >0: observed staleness must stay ≤ bound
-	}{
-		{"lock-free", "-", hogwild.NewLockFree, 0},
-		{"bounded-staleness", "tau=2", func() hogwild.Strategy { return hogwild.NewBoundedStaleness(2) }, 2},
-		{"bounded-staleness", "tau=8", func() hogwild.Strategy { return hogwild.NewBoundedStaleness(8) }, 8},
-		{"update-batching", "b=8", func() hogwild.Strategy { return hogwild.NewUpdateBatching(8) }, 0},
-		{"update-batching", "b=32", func() hogwild.Strategy { return hogwild.NewUpdateBatching(32) }, 0},
-		{"epoch-fence", "E=64", func() hogwild.Strategy { return hogwild.NewEpochFence(64) }, 63},
-		{"coarse-lock", "-", hogwild.NewCoarseLock, 0},
+	// The strategy roster is a sweep spec (one axis, 4 workers): per-cell
+	// seeds and pool scheduling come from the engine, and the staleness
+	// column reads Result.MaxStaleness — the gauge Run now populates for
+	// every StalenessBounded strategy.
+	results, err := sweep.Run(sweep.Spec{
+		Name:    "e16c-disciplines",
+		Seed:    63,
+		Oracles: []sweep.Oracle{isoQuadOracle16()},
+		Strategies: []sweep.Strategy{
+			sweep.LockFree(),
+			sweep.BoundedStaleness(2),
+			sweep.BoundedStaleness(8),
+			sweep.UpdateBatching(8),
+			sweep.UpdateBatching(32),
+			sweep.EpochFence(64),
+			sweep.CoarseLock(),
+		},
+		Workers: []int{4},
+		Alphas:  []float64{0.02},
+		Iters:   s.pick(20000, 200000),
+		// Throughput column: run cells serially so they never contend.
+		MaxConcurrent: 1,
+	})
+	if err != nil {
+		return nil, err
 	}
-	for _, rn := range runs {
-		q, err := grad.NewIsoQuadratic(16, 1, 0.3, 3, nil)
-		if err != nil {
-			return nil, err
-		}
-		strat := rn.mk()
-		res, err := hogwild.Run(hogwild.Config{
-			Workers: 4, TotalIters: iters, Alpha: 0.02, Oracle: q,
-			Seed: 63, Strategy: strat, X0: vec.Constant(16, 0.5),
-		})
-		if err != nil {
-			return nil, err
-		}
-		d2, err := vec.Dist2Sq(res.Final, q.Optimum())
-		if err != nil {
-			return nil, err
+	c := report.New("E16c: synchronization disciplines, real threads",
+		"strategy", "updates/sec", "coord_ops/iter", "final_dist2",
+		"staleness", "bound_holds")
+	c.Note = "iso quadratic d=16, 4 workers; staleness is the gated strategies' observed gauge (sweep engine)"
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("cell %d (%s): %s", r.Index, r.Strategy, r.Err)
 		}
 		staleness, holds := "-", "-"
-		if sb, ok := strat.(hogwild.StalenessBounded); ok {
-			obs := sb.ObservedMaxStaleness()
-			staleness = report.In(obs)
-			holds = boolCell(obs <= rn.bound)
+		if r.MaxStaleness >= 0 {
+			staleness = report.In(r.MaxStaleness)
+			holds = boolCell(r.MaxStaleness <= r.Tau)
 		}
-		c.AddRow(rn.name, rn.param, report.Fl(res.UpdatesPerSec),
-			report.Fl(float64(res.CoordOps)/float64(res.Iters)),
-			report.Fl(d2), staleness, holds)
+		c.AddRow(r.Strategy, report.Fl(r.UpdatesPerSec),
+			report.Fl(float64(r.CoordOps)/float64(r.Iters)),
+			report.Fl(r.FinalDist2), staleness, holds)
 	}
 	return []*report.Table{a, b, c}, nil
 }

@@ -8,10 +8,10 @@ import (
 	"asyncsgd/internal/contention"
 	"asyncsgd/internal/core"
 	"asyncsgd/internal/grad"
-	"asyncsgd/internal/hogwild"
 	"asyncsgd/internal/report"
 	"asyncsgd/internal/sched"
 	"asyncsgd/internal/shm"
+	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/vec"
 )
 
@@ -209,34 +209,44 @@ func RenderFigure1(tr *contention.Tracker, d, horizon int) string {
 // sharded-lock across worker counts. On a single-core host the absolute
 // numbers compress; the recorded shape claim is that lock-free never loses
 // to coarse locking and the gap widens with workers and contention.
+//
+// The mode × workers grid is a sweep spec: the engine derives per-cell
+// seeds, schedules the cells on its weighted pool (multi-worker cells get
+// the machine to themselves, so throughput cells don't pollute each
+// other), and returns results in deterministic cell order.
 func E10Throughput(s Scale) ([]*report.Table, error) {
-	q, err := grad.NewIsoQuadratic(16, 1, 0.3, 3, nil)
+	lockFree := sweep.LockFree()
+	lockFree.Padded = true // the lock-free arm measures throughput: pad out false sharing
+	results, err := sweep.Run(sweep.Spec{
+		Name:    "e10-throughput",
+		Seed:    31,
+		Oracles: []sweep.Oracle{isoQuadOracle16()},
+		Strategies: []sweep.Strategy{
+			lockFree,
+			sweep.StripedLock(16), // the ShardedLock compatibility mapping at d=16
+			sweep.CoarseLock(),
+		},
+		Workers: []int{1, 2, 4, 8},
+		Alphas:  []float64{0.02},
+		Iters:   s.pick(20000, 200000),
+		Probe:   true,
+		// updates/sec is the measurement: serialize the cells so small
+		// cells never share cores with siblings and rows stay comparable.
+		MaxConcurrent: 1,
+	})
 	if err != nil {
 		return nil, err
 	}
-	iters := s.pick(20000, 200000)
 	tbl := report.New("E10: real-thread throughput and quality",
 		"mode", "workers", "updates/sec", "final_dist2", "avg_staleness", "max_staleness")
-	tbl.Note = "iso quadratic d=16; CAS-emulated float fetch&add; single trial per cell"
-	for _, mode := range []hogwild.Mode{hogwild.LockFree, hogwild.ShardedLock, hogwild.CoarseLock} {
-		for _, workers := range []int{1, 2, 4, 8} {
-			res, err := hogwild.Run(hogwild.Config{
-				Workers: workers, TotalIters: iters, Alpha: 0.02,
-				Oracle: q, Seed: uint64(31 + workers), Mode: mode,
-				Padded: mode == hogwild.LockFree, SampleStaleness: true,
-				X0: vec.Constant(16, 0.5),
-			})
-			if err != nil {
-				return nil, err
-			}
-			d2, err := vec.Dist2Sq(res.Final, q.Optimum())
-			if err != nil {
-				return nil, err
-			}
-			tbl.AddRow(mode.String(), report.In(workers),
-				report.Fl(res.UpdatesPerSec), report.Fl(d2),
-				report.Fl(res.AvgStaleness), report.In(res.MaxStaleness))
+	tbl.Note = "iso quadratic d=16; CAS-emulated float fetch&add; single trial per cell (sweep engine)"
+	for _, r := range results {
+		if r.Err != "" {
+			return nil, fmt.Errorf("cell %d (%s, %d workers): %s", r.Index, r.Strategy, r.Workers, r.Err)
 		}
+		tbl.AddRow(r.Strategy, report.In(r.Workers),
+			report.Fl(r.UpdatesPerSec), report.Fl(r.FinalDist2),
+			report.Fl(r.AvgStaleness), report.In(r.MaxStaleness))
 	}
 	return []*report.Table{tbl}, nil
 }

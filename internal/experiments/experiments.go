@@ -1,6 +1,6 @@
 // Package experiments contains one driver per quantitative claim of the
 // paper, regenerating the corresponding table/series (see DESIGN.md §3 for
-// the experiment index E1–E16). Each driver returns report tables with the
+// the experiment index E1–E17). Each driver returns report tables with the
 // paper's predicted values side by side with Monte-Carlo measurements from
 // the simulator (or the real-thread runtime for E10).
 package experiments
@@ -16,6 +16,8 @@ import (
 	"asyncsgd/internal/grad"
 	"asyncsgd/internal/mathx"
 	"asyncsgd/internal/report"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/vec"
 )
 
@@ -65,6 +67,7 @@ var registry = []struct {
 	{"e14", "Section 3: martingale (hitting) vs classic regret analyses", E14AnalysisStyles},
 	{"e15", "Sparse update pipeline: O(nnz) work and touched-coordinate contention", E15SparsePipeline},
 	{"e16", "Staleness gate: capping the Section-5 adversary's τ at runtime", E16StalenessGate},
+	{"e17", "Staleness phase diagram: loss and observed τ over τ × n × sparsity (sweep engine)", E17PhaseDiagram},
 }
 
 // IDs returns the experiment ids in display order.
@@ -119,6 +122,22 @@ func RunAll(scale Scale, w io.Writer) error {
 }
 
 // --- shared workload helpers -------------------------------------------
+
+// isoQuadOracle16 is the shared real-thread sweep workload of E10 and
+// E16c: the isotropic quadratic at d=16 with σ=0.3, started at 0.5·𝟙.
+// One definition so the two tables always benchmark the same problem.
+func isoQuadOracle16() sweep.Oracle {
+	return sweep.Oracle{
+		Name: "iso-quadratic/d=16",
+		Make: func(int, *rng.Rand) (grad.Oracle, vec.Dense, error) {
+			q, err := grad.NewIsoQuadratic(16, 1, 0.3, 3, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, vec.Constant(16, 0.5), nil
+		},
+	}
+}
 
 // stdQuadratic is the standard upper-bound workload: isotropic quadratic
 // in dimension d with unit strong convexity, noise σ, and M² ball radius

@@ -51,11 +51,11 @@ func builtinStrategies() []strategyCase {
 		{name: "sparse-lock-free", mk: hogwild.NewSparseLockFree,
 			sim: SimSpec{Sparse: true}, needsSp: true, spOnly: true},
 		{name: "bounded-staleness", mk: func() hogwild.Strategy { return hogwild.NewBoundedStaleness(4) },
-			sim: SimSpec{StalenessBound: 4}, tau: 4},
+			sim: SimSpec{StalenessBound: 4}, tau: 4, spOnly: true},
 		{name: "update-batching", mk: func() hogwild.Strategy { return hogwild.NewUpdateBatching(8) },
 			sim: SimSpec{Batch: 8}, spOnly: true},
 		{name: "epoch-fence", mk: func() hogwild.Strategy { return hogwild.NewEpochFence(16) },
-			sim: SimSpec{FenceEvery: 16}, tau: 15},
+			sim: SimSpec{FenceEvery: 16}, tau: 15, spOnly: true},
 	}
 }
 

@@ -42,9 +42,11 @@ func TestStepperStepAllocFree(t *testing.T) {
 		{"striped-lock", func() Strategy { return NewStripedLock(8) }, quad},
 		{"sparse-lock-free", NewSparseLockFree, sls},
 		{"bounded-staleness", func() Strategy { return NewBoundedStaleness(4) }, quad},
+		{"bounded-staleness-sparse", func() Strategy { return NewBoundedStaleness(4) }, sls},
 		{"update-batching", func() Strategy { return NewUpdateBatching(4) }, quad},
 		{"update-batching-sparse", func() Strategy { return NewUpdateBatching(4) }, sls},
 		{"epoch-fence", func() Strategy { return NewEpochFence(8) }, quad},
+		{"epoch-fence-sparse", func() Strategy { return NewEpochFence(8) }, sls},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -158,37 +158,64 @@ func (s *boundedStaleness) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (S
 // gatedStepper is the shared iteration body of the window-gated
 // disciplines (bounded staleness, epoch fencing): acquire a ticket
 // through the discipline's gate, run one lock-free iteration, record the
-// observed staleness, publish in ticket order.
+// observed staleness, publish in ticket order. With a grad.SparseOracle
+// the iteration body is the sparse pipeline (PlanSparse → GatherInto →
+// GradSparseAt → scatter fetch&add), so a gated run pays O(|support|+nnz)
+// shared operations per iteration, same as SparseLockFree — the gate
+// changes when an iteration may take its view, not how much of the model
+// it touches.
 type gatedStepper struct {
 	model   *atomicfloat.Vector
 	alpha   float64
 	win     *orderedWindow
 	obs     *atomic.Int64
 	oracle  grad.Oracle
+	so      grad.SparseOracle // non-nil ⇒ sparse view reads
 	r       *rng.Rand
 	minDone func(t int64) int64
 	view    vec.Dense
 	g       vec.Dense
+	vals    []float64  // sparse path: gathered support values
+	sg      vec.Sparse // sparse path: the per-iteration gradient
 }
 
 func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *orderedWindow,
 	obs *atomic.Int64, oracle grad.Oracle, r *rng.Rand, minDone func(t int64) int64) *gatedStepper {
-	d := model.Dim()
-	return &gatedStepper{
+	w := &gatedStepper{
 		model: model, alpha: alpha, win: win, obs: obs, oracle: oracle, r: r,
-		minDone: minDone, view: vec.NewDense(d), g: vec.NewDense(d),
+		minDone: minDone,
 	}
+	if so, ok := grad.AsSparse(oracle); ok {
+		w.so = so
+	} else {
+		d := model.Dim()
+		w.view = vec.NewDense(d)
+		w.g = vec.NewDense(d)
+	}
+	return w
 }
 
 func (w *gatedStepper) Step() int {
 	t := w.win.acquire(w.minDone)
-	w.model.LoadAll(w.view)
-	w.oracle.Grad(w.g, w.view, w.r)
-	ops := len(w.view)
-	for j, gj := range w.g {
-		if gj != 0 {
-			w.model.FetchAdd(j, -w.alpha*gj)
-			ops++
+	var ops int
+	if w.so != nil {
+		support := w.so.PlanSparse(w.r)
+		w.vals = sizedFor(w.vals, len(support))
+		w.model.GatherInto(w.vals, support)
+		w.so.GradSparseAt(&w.sg, w.vals, w.r)
+		for k, j := range w.sg.Indices {
+			w.model.FetchAdd(j, -w.alpha*w.sg.Values[k])
+		}
+		ops = len(support) + w.sg.NNZ()
+	} else {
+		w.model.LoadAll(w.view)
+		w.oracle.Grad(w.g, w.view, w.r)
+		ops = len(w.view)
+		for j, gj := range w.g {
+			if gj != 0 {
+				w.model.FetchAdd(j, -w.alpha*gj)
+				ops++
+			}
 		}
 	}
 	if span := w.win.begun(t); span > w.obs.Load() {

@@ -3,6 +3,7 @@ package hogwild
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"asyncsgd/internal/grad"
 	"asyncsgd/internal/vec"
@@ -25,11 +26,25 @@ type FullConfig struct {
 	Epochs        int      // 0 ⇒ the Corollary-7.1 count ⌈log₂(α²Mn/√ε)⌉
 }
 
-// FullResult is the outcome of the real-thread Algorithm 2.
+// FullResult is the outcome of the real-thread Algorithm 2. Beyond the
+// final model it aggregates the per-epoch telemetry that Run reports for
+// a single epoch, so an Algorithm-2 run is directly comparable to single
+// runs in sweeps and benchmarks.
 type FullResult struct {
 	Final     vec.Dense
 	Epochs    int
 	FinalDist float64
+	// Iters is the total number of completed iterations across all epochs.
+	Iters int
+	// CoordOps is the total shared model-coordinate traffic across epochs.
+	CoordOps int64
+	// Elapsed sums the epochs' run times (excluding between-epoch setup).
+	Elapsed time.Duration
+	// UpdatesPerSec is Iters/Elapsed.
+	UpdatesPerSec float64
+	// MaxStaleness is the largest staleness observed in any epoch (the
+	// gated strategies' gauge; 0 for strategies that do not measure it).
+	MaxStaleness int
 }
 
 // RunFull executes Algorithm 2 on real goroutines.
@@ -51,6 +66,7 @@ func RunFull(cfg FullConfig) (*FullResult, error) {
 	}
 	x := vec.NewDense(cfg.Oracle.Dim())
 	alpha := cfg.Alpha0
+	full := &FullResult{Epochs: epochs}
 	for e := 0; e < epochs; e++ {
 		res, err := Run(Config{
 			Workers:    cfg.Workers,
@@ -67,10 +83,21 @@ func RunFull(cfg FullConfig) (*FullResult, error) {
 		}
 		x = res.Final
 		alpha /= 2
+		full.Iters += res.Iters
+		full.CoordOps += res.CoordOps
+		full.Elapsed += res.Elapsed
+		if res.MaxStaleness > full.MaxStaleness {
+			full.MaxStaleness = res.MaxStaleness
+		}
 	}
 	dist, err := vec.Dist2(x, cfg.Oracle.Optimum())
 	if err != nil {
 		return nil, err
 	}
-	return &FullResult{Final: x, Epochs: epochs, FinalDist: dist}, nil
+	full.Final = x
+	full.FinalDist = dist
+	if secs := full.Elapsed.Seconds(); secs > 0 {
+		full.UpdatesPerSec = float64(full.Iters) / secs
+	}
+	return full, nil
 }

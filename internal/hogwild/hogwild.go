@@ -105,8 +105,12 @@ type Result struct {
 	// CoordOps is the total number of shared model-coordinate accesses
 	// (view reads plus update writes) across all iterations — O(T·d) on
 	// the dense paths, O(T·nnz) on the sparse path.
-	CoordOps     int64
-	MaxStaleness int     // max probe value (SampleStaleness)
+	CoordOps int64
+	// MaxStaleness is the largest observed iteration staleness. For
+	// strategies that enforce a bound (StalenessBounded) it is the
+	// strategy's exact gauge — populated whether or not the sampling probe
+	// is on; otherwise it is the max probe value (SampleStaleness).
+	MaxStaleness int
 	AvgStaleness float64 // mean probe value (SampleStaleness)
 }
 
@@ -238,6 +242,11 @@ func Run(cfg Config) (*Result, error) {
 	if n := staleN.Load(); n > 0 {
 		res.AvgStaleness = float64(staleSum.Load()) / float64(n)
 		res.MaxStaleness = int(staleMax.Load())
+	}
+	// Gated strategies hold the exact staleness gauge; prefer it over the
+	// probe's online proxy (and report it even with the probe off).
+	if sb, ok := strat.(StalenessBounded); ok {
+		res.MaxStaleness = sb.ObservedMaxStaleness()
 	}
 	return res, nil
 }

@@ -87,6 +87,25 @@ func (w *Welford) Variance() float64 {
 // Std returns the sample standard deviation.
 func (w *Welford) Std() float64 { return math.Sqrt(w.Variance()) }
 
+// Merge folds another accumulator into w (Chan et al.'s parallel
+// combination), as if w had seen every observation of both. The sweep
+// engine uses it to collapse per-point replicate statistics into marginal
+// rows (e.g. all cells sharing one τ) without revisiting raw samples.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	w.n = n
+}
+
 // KahanSum accumulates float64s with compensated (Kahan) summation.
 // The zero value is ready to use.
 type KahanSum struct {

@@ -89,6 +89,35 @@ func TestWelford(t *testing.T) {
 	}
 }
 
+// TestWelfordMerge: merging partitions of a dataset must agree with
+// accumulating it whole (Chan et al.), including the degenerate empty and
+// one-sided cases.
+func TestWelfordMerge(t *testing.T) {
+	data := []float64{2, 4, 4, 4, 5, 5, 7, 9, -1, 3.5, 0.25}
+	for _, cut := range []int{0, 1, 5, len(data)} {
+		var whole, left, right Welford
+		for _, x := range data {
+			whole.Add(x)
+		}
+		for _, x := range data[:cut] {
+			left.Add(x)
+		}
+		for _, x := range data[cut:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() {
+			t.Fatalf("cut %d: N = %d, want %d", cut, left.N(), whole.N())
+		}
+		if math.Abs(left.Mean()-whole.Mean()) > 1e-12 {
+			t.Errorf("cut %d: Mean = %v, want %v", cut, left.Mean(), whole.Mean())
+		}
+		if math.Abs(left.Variance()-whole.Variance()) > 1e-12 {
+			t.Errorf("cut %d: Variance = %v, want %v", cut, left.Variance(), whole.Variance())
+		}
+	}
+}
+
 func TestKahanSum(t *testing.T) {
 	var k KahanSum
 	k.Add(1e16)

@@ -1,0 +1,107 @@
+package sweep
+
+import (
+	"asyncsgd/internal/mathx"
+	"asyncsgd/internal/report"
+)
+
+// PointStat aggregates the seed replicates of one grid point (every axis
+// except Rep): cross-replicate mean/variance of the quality metrics via
+// Welford accumulators, plus the worst observed staleness and the failure
+// count.
+type PointStat struct {
+	// Cell is the point's representative coordinate (the Rep-0 cell, with
+	// the replicate-specific fields zeroed).
+	Cell Cell
+	// N is the number of successful replicates folded in.
+	N int
+	// Errs counts failed replicates (their metrics are excluded).
+	Errs int
+	// Loss and Dist2 accumulate the final suboptimality gap and ‖x−x*‖²
+	// across replicates.
+	Loss  mathx.Welford
+	Dist2 mathx.Welford
+	// OpsPerIter accumulates CoordOps/Iters — the shared-traffic cost of
+	// one iteration under the point's strategy/oracle pairing.
+	OpsPerIter mathx.Welford
+	// MaxStaleness is the largest observed staleness of any replicate
+	// (−1 when no replicate measured it).
+	MaxStaleness int
+}
+
+// Aggregate groups results by grid point, preserving first-seen (cell
+// index) order. Pass Run's output directly.
+func Aggregate(results []CellResult) []PointStat {
+	type key struct {
+		runtime, oracle, strategy string
+		workers, dim              int
+		alpha                     float64
+	}
+	index := make(map[key]int)
+	var out []PointStat
+	for _, r := range results {
+		k := key{r.Runtime, r.Oracle, r.Strategy, r.Workers, r.Dim, r.Alpha}
+		i, ok := index[k]
+		if !ok {
+			i = len(out)
+			index[k] = i
+			rep := r.Cell
+			rep.Rep = 0
+			rep.Seed = 0
+			out = append(out, PointStat{Cell: rep, MaxStaleness: -1})
+		}
+		p := &out[i]
+		if r.Err != "" {
+			p.Errs++
+			continue
+		}
+		p.N++
+		p.Loss.Add(r.FinalLoss)
+		p.Dist2.Add(r.FinalDist2)
+		if r.Iters > 0 {
+			p.OpsPerIter.Add(float64(r.CoordOps) / float64(r.Iters))
+		}
+		if r.MaxStaleness > p.MaxStaleness {
+			p.MaxStaleness = r.MaxStaleness
+		}
+	}
+	return out
+}
+
+// Table renders aggregated point statistics as the standard fixed-width
+// sweep table: one row per grid point with cross-replicate mean ± std of
+// the loss, the mean shared traffic per iteration, and the worst observed
+// staleness next to the enforced bound.
+func Table(title string, stats []PointStat) *report.Table {
+	t := report.New(title,
+		"runtime", "oracle", "strategy", "workers", "dim", "alpha", "reps",
+		"loss_mean", "loss_std", "dist2_mean", "ops/iter", "stale_max", "bound_holds")
+	for i := range stats {
+		p := &stats[i]
+		stale, holds := "-", "-"
+		if p.MaxStaleness >= 0 {
+			stale = report.In(p.MaxStaleness)
+			if p.Cell.Tau > 0 {
+				if p.MaxStaleness <= p.Cell.Tau {
+					holds = "YES"
+				} else {
+					holds = "NO"
+				}
+			}
+		}
+		reps := report.In(p.N)
+		if p.Errs > 0 {
+			reps += "!" + report.In(p.Errs)
+		}
+		dim := "-"
+		if p.Cell.Dim > 0 {
+			dim = report.In(p.Cell.Dim)
+		}
+		t.AddRow(p.Cell.Runtime, p.Cell.Oracle, p.Cell.Strategy,
+			report.In(p.Cell.Workers), dim, report.Fl(p.Cell.Alpha), reps,
+			report.Fl(p.Loss.Mean()), report.Fl(p.Loss.Std()),
+			report.Fl(p.Dist2.Mean()), report.Fl(p.OpsPerIter.Mean()),
+			stale, holds)
+	}
+	return t
+}

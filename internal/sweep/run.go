@@ -1,0 +1,211 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/grad"
+	"asyncsgd/internal/hogwild"
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/vec"
+)
+
+// Run expands the spec and executes every cell on a bounded weighted
+// pool, returning results in cell-index order (deterministic regardless
+// of how the pool interleaved execution).
+//
+// The pool is GOMAXPROCS-aware: its capacity is the number of schedulable
+// CPUs (or Spec.MaxConcurrent), and each cell occupies as many slots as
+// the goroutines it runs — one for a simulator cell, Workers for a
+// real-thread hogwild cell (capped at the capacity). Simulator cells and
+// single-worker hogwild cells therefore pack the machine, while a
+// hogwild cell whose worker count fills the capacity runs alone — its
+// throughput and staleness measurements are not polluted by sibling
+// cells competing for cores. Admission is FIFO in cell order, so a wide
+// cell blocks later cells rather than starving forever.
+func Run(s Spec) ([]CellResult, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	capacity := s.MaxConcurrent
+	if capacity <= 0 {
+		capacity = runtime.GOMAXPROCS(0)
+	}
+	gate := newWeightedGate(capacity)
+	results := make([]CellResult, len(cells))
+	var (
+		wg     sync.WaitGroup
+		emitMu sync.Mutex
+	)
+	for _, c := range cells {
+		w := cellWeight(c, capacity)
+		gate.acquire(w) // FIFO: blocks the dispatcher until w slots free up
+		wg.Add(1)
+		go func(c Cell, w int) {
+			defer wg.Done()
+			defer gate.release(w)
+			res := runCellSafe(&s, c)
+			results[c.Index] = res
+			if s.OnResult != nil {
+				emitMu.Lock()
+				s.OnResult(res)
+				emitMu.Unlock()
+			}
+		}(c, w)
+	}
+	wg.Wait()
+	return results, nil
+}
+
+// cellWeight is the number of pool slots a cell occupies: the goroutines
+// it keeps busy. Simulator cells are sequential; hogwild cells run one
+// goroutine per worker.
+func cellWeight(c Cell, capacity int) int {
+	w := 1
+	if c.runtime == Hogwild {
+		w = c.Workers
+	}
+	if w > capacity {
+		w = capacity
+	}
+	return w
+}
+
+// weightedGate is a FIFO weighted-capacity semaphore.
+type weightedGate struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	cap  int
+	used int
+}
+
+func newWeightedGate(capacity int) *weightedGate {
+	g := &weightedGate{cap: capacity}
+	g.cond = sync.NewCond(&g.mu)
+	return g
+}
+
+func (g *weightedGate) acquire(w int) {
+	g.mu.Lock()
+	for g.used+w > g.cap {
+		g.cond.Wait()
+	}
+	g.used += w
+	g.mu.Unlock()
+}
+
+func (g *weightedGate) release(w int) {
+	g.mu.Lock()
+	g.used -= w
+	g.cond.Broadcast()
+	g.mu.Unlock()
+}
+
+// runCellSafe runs a cell and converts a panic — a dimension-mismatched
+// X0, an oracle announcing an out-of-range support index — into that
+// cell's Err, keeping the failure cell-local like every other error.
+func runCellSafe(s *Spec, c Cell) (res CellResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = CellResult{Cell: c, MaxStaleness: -1,
+				Err: fmt.Sprintf("panic: %v", r)}
+		}
+	}()
+	return runCell(s, c)
+}
+
+// runCell executes one cell on its runtime. Failures are recorded in the
+// result rather than aborting the sweep: one bad grid point (say, a
+// sparse strategy crossed with a dense-only oracle) should not cost the
+// other 99 cells their work.
+func runCell(s *Spec, c Cell) CellResult {
+	res := CellResult{Cell: c, MaxStaleness: -1}
+	oracle, x0, err := c.oracle.Make(c.Dim, rng.NewStream(c.Seed, oracleStream))
+	if err != nil {
+		res.Err = fmt.Sprintf("oracle %s: %v", c.Oracle, err)
+		return res
+	}
+	start := time.Now()
+	switch c.runtime {
+	case Hogwild:
+		if c.strategy.Hogwild == nil {
+			res.Err = fmt.Sprintf("strategy %s has no real-thread implementation", c.Strategy)
+			return res
+		}
+		strat := c.strategy.Hogwild()
+		out, err := hogwild.Run(hogwild.Config{
+			Workers:         c.Workers,
+			TotalIters:      s.Iters,
+			Alpha:           c.Alpha,
+			Oracle:          oracle,
+			Seed:            c.Seed,
+			Strategy:        strat,
+			Padded:          c.strategy.Padded,
+			X0:              x0,
+			SampleStaleness: s.Probe,
+		})
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Iters = out.Iters
+		res.CoordOps = out.CoordOps
+		res.AvgStaleness = out.AvgStaleness
+		if _, gauged := strat.(hogwild.StalenessBounded); gauged || s.Probe {
+			res.MaxStaleness = out.MaxStaleness
+		}
+		res.fill(oracle, out.Final, time.Since(start))
+	case Machine:
+		if c.strategy.Machine == nil {
+			res.Err = fmt.Sprintf("strategy %s has no machine implementation", c.Strategy)
+			return res
+		}
+		cfg := core.EpochConfig{
+			Threads:    c.Workers,
+			TotalIters: s.Iters,
+			Alpha:      c.Alpha,
+			Oracle:     oracle,
+			Seed:       c.Seed,
+			X0:         x0,
+			Track:      true,
+		}
+		if s.Policy != nil {
+			cfg.Policy = s.Policy(c.Workers, rng.NewStream(c.Seed, policyStream))
+		} else {
+			cfg.Policy = &sched.RoundRobin{}
+		}
+		c.strategy.Machine(&cfg)
+		out, err := core.RunEpoch(cfg)
+		if err != nil {
+			res.Err = err.Error()
+			return res
+		}
+		res.Iters = out.Tracker.Completed()
+		res.CoordOps = out.CoordOps
+		res.MaxStaleness = out.Tracker.MaxAdmissionsDuring()
+		res.fill(oracle, out.FinalX, time.Since(start))
+	default:
+		res.Err = fmt.Sprintf("unknown runtime %v", c.runtime)
+	}
+	return res
+}
+
+// fill computes the quality metrics and timing of a finished cell.
+func (r *CellResult) fill(oracle grad.Oracle, final vec.Dense, elapsed time.Duration) {
+	opt := oracle.Optimum()
+	if d2, err := vec.Dist2Sq(final, opt); err == nil {
+		r.FinalDist2 = d2
+	}
+	if gap := oracle.Value(final) - oracle.Value(opt); gap > 0 {
+		r.FinalLoss = gap
+	}
+	r.Seconds = elapsed.Seconds()
+	if r.Seconds > 0 {
+		r.UpdatesPerSec = float64(r.Iters) / r.Seconds
+	}
+}
