@@ -9,17 +9,24 @@
 //   - a real-goroutine Hogwild runtime with CAS-emulated float fetch&add,
 //   - the martingale analysis toolkit (rate supermartingales, the failure
 //     probability bounds of Theorems 3.1/6.3/6.5 and Corollary 6.7, and
-//     the Section-5 lower-bound closed forms), and
-//   - the experiment drivers (E1–E16) that regenerate every quantitative
-//     claim in the paper.
+//     the Section-5 lower-bound closed forms),
+//   - the experiment drivers (E1–E17) that regenerate every quantitative
+//     claim in the paper,
+//   - the concurrent scenario-sweep engine (RunSweep) that executes
+//     parameter grids on a GOMAXPROCS-aware pool with deterministic
+//     per-cell seeds, and
+//   - the sweep-as-a-service layer (Serve, SweepRequest): a streaming
+//     HTTP job server over the sweep engine with an LRU result cache.
 //
 // This package is a facade: it re-exports the stable API surface of the
 // internal packages so that applications depend on a single import.
-// See DESIGN.md for the architecture and EXPERIMENTS.md for the recorded
-// reproduction results.
+// See README.md for the project map, DESIGN.md for the architecture and
+// EXPERIMENTS.md for the recorded reproduction results. The Example
+// functions in example_test.go are compiled, executed quickstarts.
 package asyncsgd
 
 import (
+	"context"
 	"io"
 
 	"asyncsgd/internal/baseline"
@@ -31,6 +38,7 @@ import (
 	"asyncsgd/internal/martingale"
 	"asyncsgd/internal/rng"
 	"asyncsgd/internal/sched"
+	"asyncsgd/internal/serve"
 	"asyncsgd/internal/shm"
 	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/vec"
@@ -373,10 +381,64 @@ func SweepEpochFence(every int) SweepStrategy { return sweep.EpochFence(every) }
 // in cell-index order. See internal/sweep (DESIGN.md §5).
 func RunSweep(s SweepSpec) ([]SweepCellResult, error) { return sweep.Run(s) }
 
+// RunSweepContext is RunSweep with job-scoped cancellation: canceling
+// ctx stops admitting cells (in-flight cells finish), never-started
+// cells record sweep.ErrCanceled, and the error is ctx.Err().
+func RunSweepContext(ctx context.Context, s SweepSpec) ([]SweepCellResult, error) {
+	return sweep.RunContext(ctx, s)
+}
+
 // AggregateSweep groups cell results by grid point, folding seed
 // replicates into Welford accumulators.
 func AggregateSweep(results []SweepCellResult) []SweepPointStat {
 	return sweep.Aggregate(results)
+}
+
+// --- sweep-as-a-service ------------------------------------------------------
+
+type (
+	// SweepRequest is the JSON job specification of the sweep service: a
+	// staleness phase-diagram grid, one field per `asgdbench sweep` flag,
+	// with absent fields defaulting to the CLI defaults (an empty request
+	// is the standard 108-cell deterministic machine grid).
+	SweepRequest = serve.SweepRequest
+	// SweepEvent is one element of a job's result stream (NDJSON line /
+	// SSE event): a per-cell result, the terminal asgdbench/v2 aggregate
+	// document, or an error.
+	SweepEvent = serve.Event
+	// SweepJobStatus is the introspection record of one submitted job.
+	SweepJobStatus = serve.JobStatus
+	// SweepReport is the asgdbench/v2 JSON document (experiment records
+	// plus the sweep record), shared byte-for-byte by `asgdbench -json`,
+	// `asgdbench sweep -json` and the serve result endpoint.
+	SweepReport = serve.Report
+	// ServeConfig parameterizes the sweep job server (queue depth, LRU
+	// result-cache size, retained history, drain timeout).
+	ServeConfig = serve.Config
+	// SweepServer is the embeddable job server: a bounded FIFO job
+	// queue over the sweep engine with streaming results and an LRU
+	// result cache. Mount Handler on any mux; stop with Drain/Close.
+	SweepServer = serve.Server
+)
+
+// NewSweepServer starts a sweep job server (its executor goroutine runs
+// until Drain or Close).
+func NewSweepServer(cfg ServeConfig) *SweepServer { return serve.New(cfg) }
+
+// Serve runs the sweep-as-a-service HTTP server on addr until ctx is
+// canceled, then drains gracefully: submissions are refused while queued
+// and running jobs finish, bounded by cfg.DrainTimeout. This is the
+// library form of `cmd/asgdserve`.
+func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
+	return serve.ListenAndServe(ctx, addr, cfg)
+}
+
+// RunSweepRequest executes one sweep request in process — normalize,
+// expand, run on the weighted pool, aggregate — returning the
+// asgdbench/v2 report and streaming per-cell results through onResult
+// (may be nil). It is the exact pipeline an asgdserve job runs.
+func RunSweepRequest(ctx context.Context, req SweepRequest, onResult func(SweepCellResult)) (*SweepReport, error) {
+	return serve.RunRequest(ctx, req, onResult)
 }
 
 // --- experiments ------------------------------------------------------------

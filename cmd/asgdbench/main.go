@@ -24,12 +24,16 @@
 // subcommand — a `sweep` record with the spec identity and one
 // machine-readable result per cell. On the default machine runtime the
 // sweep document is byte-identical across reruns of the same spec+seed,
-// modulo the timing fields (seconds, updates_per_sec).
+// modulo the timing fields (seconds, updates_per_sec). The sweep runs
+// through the same internal/serve request pipeline as the asgdserve job
+// server, so the CLI document and the server's result endpoint cannot
+// drift apart (DESIGN.md §6 documents the schemas field by field).
 package main
 
 import (
 	"bytes"
-	"encoding/json"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -39,43 +43,19 @@ import (
 	"time"
 
 	"asyncsgd/internal/experiments"
+	"asyncsgd/internal/serve"
 	"asyncsgd/internal/sweep"
+	"asyncsgd/internal/version"
 )
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "asgdbench:", err)
 		os.Exit(1)
 	}
-}
-
-// jsonResult is one experiment's machine-readable record.
-type jsonResult struct {
-	ID      string  `json:"id"`
-	Title   string  `json:"title"`
-	Seconds float64 `json:"seconds"`
-	Output  string  `json:"output"`
-}
-
-// jsonSweep is the sweep record of the v2 schema: the spec identity, the
-// aggregated table text, and one record per cell in deterministic
-// cell-index order.
-type jsonSweep struct {
-	Name    string             `json:"name"`
-	Seed    uint64             `json:"seed"`
-	Cells   int                `json:"cells"`
-	Seconds float64            `json:"seconds"`
-	Table   string             `json:"table"`
-	Results []sweep.CellResult `json:"results"`
-}
-
-// jsonReport is the top-level -json document (schema asgdbench/v2: v1's
-// experiment records plus the optional sweep record).
-type jsonReport struct {
-	Schema  string       `json:"schema"`
-	Scale   string       `json:"scale,omitempty"`
-	Results []jsonResult `json:"results,omitempty"`
-	Sweep   *jsonSweep   `json:"sweep,omitempty"`
 }
 
 func run(args []string, out io.Writer) error {
@@ -87,8 +67,31 @@ func run(args []string, out io.Writer) error {
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	list := fs.Bool("list", false, "list experiments and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON results instead of report text")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `asgdbench — regenerate the PODC'18 reproduction's experiment tables.
+
+Usage:
+  asgdbench [flags]              run experiments (e1..e17)
+  asgdbench sweep [flags]        run a staleness phase-diagram sweep
+                                 (see 'asgdbench sweep -h')
+
+Flags:
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), `
+Examples:
+  asgdbench -list
+  asgdbench -exp e5 -scale full
+  asgdbench -exp e2,e16 -json
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(out, version.String("asgdbench"))
+		return nil
 	}
 	if *list {
 		for _, id := range experiments.IDs() {
@@ -125,7 +128,7 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	report := jsonReport{Schema: sweep.SchemaV2, Scale: *scaleName}
+	report := serve.Report{Schema: sweep.SchemaV2, Scale: *scaleName}
 	for _, id := range ids {
 		title, err := experiments.TitleOf(id)
 		if err != nil {
@@ -136,19 +139,21 @@ func run(args []string, out io.Writer) error {
 		if err := experiments.Run(id, scale, &buf); err != nil {
 			return err
 		}
-		report.Results = append(report.Results, jsonResult{
+		report.Results = append(report.Results, serve.ExperimentRecord{
 			ID:      id,
 			Title:   title,
 			Seconds: time.Since(start).Seconds(),
 			Output:  buf.String(),
 		})
 	}
-	return writeJSON(out, report)
+	return report.Encode(out)
 }
 
-// runSweep is the sweep subcommand: build the phase-diagram spec from the
-// axis flags, run it on the pool, and emit the aggregated table (text) or
-// the full v2 document with per-cell records (-json).
+// runSweep is the sweep subcommand: build the phase-diagram request from
+// the axis flags and hand it to the internal/serve request pipeline —
+// the exact code path an asgdserve job takes — then emit the aggregated
+// table (text) or the full asgdbench/v2 document with per-cell records
+// (-json).
 func runSweep(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asgdbench sweep", flag.ContinueOnError)
 	taus := fs.String("taus", "1,2,4,8", "bounded-staleness gate values (comma list)")
@@ -161,8 +166,28 @@ func runSweep(args []string, out io.Writer) error {
 	adversary := fs.Int("adversary", 24, "machine runtime: MaxStale budget (0 = round-robin)")
 	runtimeName := fs.String("runtime", "machine", "cell runtime: machine, hogwild or both")
 	asJSON := fs.Bool("json", false, "emit the asgdbench/v2 JSON document with per-cell records")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `asgdbench sweep — run a bounded-staleness τ × workers × sparsity grid
+through the concurrent scenario-sweep engine (the default flags expand to
+the standard 108-cell deterministic machine grid).
+
+Flags:
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), `
+Examples:
+  asgdbench sweep
+  asgdbench sweep -taus 1,2,4 -workers 2,4 -reps 5
+  asgdbench sweep -runtime hogwild -json
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(out, version.String("asgdbench"))
+		return nil
 	}
 	tauVals, err := parseInts(*taus)
 	if err != nil {
@@ -176,67 +201,40 @@ func runSweep(args []string, out io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("-sparsity: %w", err)
 	}
+	// SweepRequest treats zero numeric fields as "absent → default"
+	// (that is the right contract for a JSON body); an explicit CLI flag
+	// must not be silently replaced, so reject zeros here.
 	if *reps < 1 {
 		return fmt.Errorf("-reps %d: want ≥ 1", *reps)
 	}
-	var runtimes []sweep.Runtime
-	switch *runtimeName {
-	case "machine":
-		runtimes = []sweep.Runtime{sweep.Machine}
-	case "hogwild":
-		runtimes = []sweep.Runtime{sweep.Hogwild}
-	case "both":
-		runtimes = []sweep.Runtime{sweep.Machine, sweep.Hogwild}
-	default:
-		return fmt.Errorf("unknown runtime %q (want machine, hogwild or both)", *runtimeName)
+	if *iters < 1 {
+		return fmt.Errorf("-iters %d: want ≥ 1", *iters)
 	}
-
+	if *dim < 1 {
+		return fmt.Errorf("-d %d: want ≥ 1", *dim)
+	}
+	req := serve.SweepRequest{
+		Taus:       tauVals,
+		Workers:    workerVals,
+		Sparsity:   keepVals,
+		Dim:        *dim,
+		Replicates: *reps,
+		Iters:      *iters,
+		Seed:       seed,
+		Adversary:  adversary,
+		Runtime:    *runtimeName,
+	}
 	start := time.Now()
-	var all []sweep.CellResult
-	var names []string
-	for _, rt := range runtimes {
-		spec, err := experiments.PhaseDiagramSpec(experiments.PhaseOpts{
-			Runtime:    rt,
-			Taus:       tauVals,
-			Workers:    workerVals,
-			Keeps:      keepVals,
-			Dim:        *dim,
-			Replicates: *reps,
-			Iters:      *iters,
-			Seed:       *seed,
-			Adversary:  *adversary,
-		})
-		if err != nil {
-			return err
-		}
-		names = append(names, spec.Name)
-		results, err := sweep.Run(spec)
-		if err != nil {
-			return err
-		}
-		// Re-index so the combined document has unique cell indices when
-		// -runtime both concatenates two specs.
-		for i := range results {
-			results[i].Index += len(all)
-		}
-		all = append(all, results...)
+	report, err := serve.RunRequest(context.Background(), req, nil)
+	if err != nil {
+		return err
 	}
 	elapsed := time.Since(start)
-	failed := 0
-	for _, r := range all {
-		if r.Err != "" {
-			failed++
-		}
-	}
+	all := report.Sweep.Results
+	failed := report.FailedCells()
 
-	// The note stays timing-free so the JSON document's table field is
-	// byte-identical across reruns; wall-clock lives in the seconds fields
-	// (and the text footer).
-	tbl := sweep.Table("staleness phase diagram (sweep engine)", sweep.Aggregate(all))
-	tbl.Note = fmt.Sprintf("%d cells; τ=%v × workers=%v × keep=%v × %d replicates",
-		len(all), tauVals, workerVals, keepVals, *reps)
 	if !*asJSON {
-		if err := tbl.Fprint(out); err != nil {
+		if _, err := io.WriteString(out, report.Sweep.Table); err != nil {
 			return err
 		}
 		fmt.Fprintf(out, "ran %d cells in %.2fs\n", len(all), elapsed.Seconds())
@@ -251,17 +249,7 @@ func runSweep(args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	if err := writeJSON(out, jsonReport{
-		Schema: sweep.SchemaV2,
-		Sweep: &jsonSweep{
-			Name:    strings.Join(names, "+"),
-			Seed:    *seed,
-			Cells:   len(all),
-			Seconds: elapsed.Seconds(),
-			Table:   tbl.String(),
-			Results: all,
-		},
-	}); err != nil {
+	if err := report.Encode(out); err != nil {
 		return err
 	}
 	// The JSON document records per-cell Err fields, but a failed sweep
@@ -270,12 +258,6 @@ func runSweep(args []string, out io.Writer) error {
 		return fmt.Errorf("%d/%d cells failed", failed, len(all))
 	}
 	return nil
-}
-
-func writeJSON(out io.Writer, doc jsonReport) error {
-	enc := json.NewEncoder(out)
-	enc.SetIndent("", "  ")
-	return enc.Encode(doc)
 }
 
 func parseInts(s string) ([]int, error) {

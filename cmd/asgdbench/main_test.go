@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"flag"
+	"strings"
+	"testing"
+
+	"asyncsgd/internal/serve"
+	"asyncsgd/internal/version"
+)
+
+// TestSweepJSONMatchesServeDocument pins the acceptance criterion at
+// unit level: the sweep subcommand's -json document and the serve
+// pipeline's document for the same spec are byte-identical modulo the
+// timing fields — they are the same code path, and this test keeps it
+// that way.
+func TestSweepJSONMatchesServeDocument(t *testing.T) {
+	var cli bytes.Buffer
+	err := run([]string{"sweep", "-json",
+		"-taus", "2,4", "-workers", "2", "-sparsity", "0.4",
+		"-d", "8", "-reps", "2", "-iters", "40", "-seed", "11", "-adversary", "6",
+	}, &cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seed, adv := uint64(11), 6
+	report, err := serve.RunRequest(context.Background(), serve.SweepRequest{
+		Taus: []int{2, 4}, Workers: []int{2}, Sparsity: []float64{0.4},
+		Dim: 8, Replicates: 2, Iters: 40, Seed: &seed, Adversary: &adv,
+		Runtime: "machine",
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var srv bytes.Buffer
+	if err := report.Encode(&srv); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := stripTiming(cli.String()), stripTiming(srv.String()); got != want {
+		t.Fatalf("CLI and serve documents diverge beyond timing:\n--- cli\n%s\n--- serve\n%s", got, want)
+	}
+}
+
+// stripTiming drops the two documented nondeterministic fields
+// (DESIGN.md §6).
+func stripTiming(doc string) string {
+	var keep []string
+	for _, line := range strings.Split(doc, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "\"seconds\"") || strings.HasPrefix(trimmed, "\"updates_per_sec\"") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+func TestVersionFlag(t *testing.T) {
+	for _, args := range [][]string{{"-version"}, {"sweep", "-version"}} {
+		var out bytes.Buffer
+		if err := run(args, &out); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if !strings.Contains(out.String(), "asgdbench "+version.Version) {
+			t.Fatalf("%v printed %q", args, out.String())
+		}
+	}
+}
+
+func TestHelpExitsCleanly(t *testing.T) {
+	for _, args := range [][]string{{"-h"}, {"sweep", "-h"}} {
+		var out bytes.Buffer
+		if err := run(args, &out); !errors.Is(err, flag.ErrHelp) {
+			t.Fatalf("%v: err = %v, want flag.ErrHelp", args, err)
+		}
+	}
+}
+
+func TestUnknownScaleRejected(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-scale", "epic"}, &out); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+// TestSweepZeroFlagsRejected: explicit zero flag values must error, not
+// be silently replaced by the JSON-body defaults.
+func TestSweepZeroFlagsRejected(t *testing.T) {
+	for _, args := range [][]string{
+		{"sweep", "-reps", "0"},
+		{"sweep", "-iters", "0"},
+		{"sweep", "-d", "0"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("%v: accepted", args)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+// Command asgdserve is the sweep-as-a-service front end: a long-running
+// HTTP server that accepts staleness phase-diagram sweep specifications
+// as JSON, executes them FIFO on the concurrent scenario-sweep engine
+// (one job at a time; each job saturates GOMAXPROCS through the weighted
+// pool), streams per-cell results as NDJSON or SSE, and answers repeated
+// deterministic specs from an in-memory LRU cache with byte-identical
+// results. The final aggregate document of every job is the asgdbench/v2
+// schema — byte-identical to `asgdbench sweep -json` for the same spec,
+// modulo the two timing fields, because both run the identical
+// internal/serve pipeline.
+//
+// Usage:
+//
+//	asgdserve                       # listen on :8080
+//	asgdserve -addr 127.0.0.1:9090 -queue 32 -cache 64
+//
+// API (see DESIGN.md §6 for the request and document schemas):
+//
+//	GET    /healthz                 liveness + queue gauges
+//	GET    /v1/jobs                 all retained jobs, submission order
+//	POST   /v1/sweeps               submit a sweep spec → 202 + job id
+//	GET    /v1/sweeps/{id}          job status
+//	GET    /v1/sweeps/{id}/events   stream results (NDJSON; SSE on Accept)
+//	GET    /v1/sweeps/{id}/result   final asgdbench/v2 document
+//	DELETE /v1/sweeps/{id}          cancel a queued or running job
+//
+// An empty request body ({}) runs the default 108-cell deterministic
+// machine grid. On SIGTERM/SIGINT the server drains gracefully: new
+// submissions are refused with 503 while queued and running jobs finish
+// (bounded by -drain-timeout), then the listener shuts down.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"asyncsgd/internal/serve"
+	"asyncsgd/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "asgdserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("asgdserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	queue := fs.Int("queue", 16, "bounded job-queue depth (submissions beyond it get 429)")
+	cacheSize := fs.Int("cache", 32, "LRU result-cache size in sweeps (0 disables)")
+	history := fs.Int("history", 128, "finished jobs retained for introspection/replay")
+	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "graceful-drain bound on SIGTERM")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `asgdserve — sweep-as-a-service job server for the asyncsgd scenario-sweep
+engine. POST sweep specs to /v1/sweeps, stream per-cell results from
+/v1/sweeps/{id}/events, fetch the asgdbench/v2 aggregate from
+/v1/sweeps/{id}/result. See DESIGN.md §6 for the JSON schemas.
+
+Flags:
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), `
+Examples:
+  asgdserve
+  asgdserve -addr 127.0.0.1:9090 -queue 32
+  curl -s localhost:8080/healthz
+  curl -s -X POST localhost:8080/v1/sweeps -d '{}'
+  curl -sN localhost:8080/v1/sweeps/j1/events
+`)
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Println(version.String("asgdserve"))
+		return nil
+	}
+	// serve.Config treats zero fields as "use the default" (the right
+	// contract for a zero-value struct); explicit CLI flags must not be
+	// silently replaced, so validate here and map "-cache 0" to the
+	// config's explicit-disable form.
+	if *queue < 1 {
+		return fmt.Errorf("-queue %d: want ≥ 1", *queue)
+	}
+	if *history < 1 {
+		return fmt.Errorf("-history %d: want ≥ 1", *history)
+	}
+	if *drainTimeout <= 0 {
+		return fmt.Errorf("-drain-timeout %v: want > 0", *drainTimeout)
+	}
+	if *cacheSize < 0 {
+		return fmt.Errorf("-cache %d: want ≥ 0 (0 disables)", *cacheSize)
+	}
+	if *cacheSize == 0 {
+		*cacheSize = -1 // Config's explicit "caching disabled"
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	fmt.Fprintf(os.Stderr, "asgdserve %s listening on %s (queue %d, cache %d)\n",
+		version.Version, *addr, *queue, *cacheSize)
+	return serve.ListenAndServe(ctx, *addr, serve.Config{
+		QueueDepth:   *queue,
+		CacheSize:    *cacheSize,
+		History:      *history,
+		DrainTimeout: *drainTimeout,
+	})
+}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,10 +21,14 @@ import (
 	"asyncsgd/internal/grad"
 	"asyncsgd/internal/sched"
 	"asyncsgd/internal/vec"
+	"asyncsgd/internal/version"
 )
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
 		fmt.Fprintln(os.Stderr, "asgdviz:", err)
 		os.Exit(1)
 	}
@@ -38,8 +43,28 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 7, "random seed")
 	timeline := fs.Bool("timeline", false, "also render the per-thread step timeline")
 	timelineWidth := fs.Int("timeline-width", 160, "max steps shown in the timeline")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `asgdviz — render the paper's Figure 1: the pending-update matrix of a
+lock-free SGD execution under an adversarial schedule ('#' applied,
+'o' generated-but-pending, '.' untouched), plus an optional per-thread
+step timeline.
+
+Flags:
+`)
+		fs.PrintDefaults()
+		fmt.Fprintf(fs.Output(), `
+Examples:
+  asgdviz -threads 3 -dim 8 -iters 24 -budget 5 -seed 7
+  asgdviz -timeline -timeline-width 120
+`)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Println(version.String("asgdviz"))
+		return nil
 	}
 	q, err := grad.NewIsoQuadratic(*dim, 1, 0.5, 3, nil)
 	if err != nil {

@@ -1,0 +1,194 @@
+// Sweep-as-a-service walkthrough: boot the asgdserve job server in
+// process on a loopback port, then drive it the way a remote client
+// would — submit a sweep spec as JSON, stream per-cell results as
+// NDJSON, fetch the final asgdbench/v2 aggregate, and demonstrate the
+// deterministic result cache by resubmitting the identical spec and
+// checking the bytes match.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"asyncsgd"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Boot the server on a free loopback port, exactly as
+	// `asgdserve -addr 127.0.0.1:0` would.
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	ctx, stop := context.WithCancel(context.Background())
+	defer stop()
+	done := make(chan error, 1)
+	go func() { done <- asyncsgd.Serve(ctx, addr, asyncsgd.ServeConfig{DrainTimeout: 10 * time.Second}) }()
+	base := "http://" + addr
+	if err := waitHealthy(base); err != nil {
+		return err
+	}
+	fmt.Println("server healthy")
+
+	// Submit a small deterministic sweep: a bounded-staleness τ ×
+	// workers grid on the simulated machine (the JSON fields mirror the
+	// `asgdbench sweep` flags; absent fields take the CLI defaults).
+	seed := uint64(2718)
+	spec := asyncsgd.SweepRequest{
+		Taus:       []int{1, 2, 4},
+		Workers:    []int{2, 3},
+		Sparsity:   []float64{0.3},
+		Dim:        16,
+		Replicates: 2,
+		Iters:      150,
+		Seed:       &seed,
+		Runtime:    "machine",
+	}
+	job, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("submitted job %s: %d cells, state %s\n", job.ID, job.Cells, job.State)
+
+	// Stream the job's events: one NDJSON line per completed cell, then
+	// the aggregate document.
+	resp, err := http.Get(base + "/v1/sweeps/" + job.ID + "/events")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	cells, holds := 0, true
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	for sc.Scan() {
+		var e asyncsgd.SweepEvent
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return err
+		}
+		switch e.Type {
+		case "cell":
+			cells++
+			if e.Cell.Tau > 0 && e.Cell.MaxStaleness > e.Cell.Tau {
+				holds = false
+			}
+		case "aggregate":
+			fmt.Printf("streamed %d cell results; staleness bound held in every cell: %v\n",
+				cells, holds)
+		case "error":
+			return fmt.Errorf("job failed: %s", e.Err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+
+	// Fetch the final document — the same asgdbench/v2 bytes
+	// `asgdbench sweep -json` prints for this spec (modulo timing).
+	doc1, err := result(base, job.ID)
+	if err != nil {
+		return err
+	}
+	var report asyncsgd.SweepReport
+	if err := json.Unmarshal(doc1, &report); err != nil {
+		return err
+	}
+	fmt.Printf("aggregate: schema %s, sweep %q, %d cells\n",
+		report.Schema, report.Sweep.Name, report.Sweep.Cells)
+
+	// Resubmit the identical spec: the deterministic machine sweep is
+	// answered from the LRU cache without recomputation, byte-identical
+	// to the first response.
+	job2, err := submit(base, spec)
+	if err != nil {
+		return err
+	}
+	doc2, err := result(base, job2.ID)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmitted as job %s: cached=%v, identical bytes=%v\n",
+		job2.ID, job2.Cached, bytes.Equal(doc1, doc2))
+
+	// Graceful shutdown (the SIGTERM path): drain and exit.
+	stop()
+	if err := <-done; err != nil {
+		return err
+	}
+	fmt.Println("server drained cleanly")
+	return nil
+}
+
+func waitHealthy(base string) error {
+	for i := 0; i < 300; i++ {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("server never became healthy")
+}
+
+func submit(base string, spec asyncsgd.SweepRequest) (asyncsgd.SweepJobStatus, error) {
+	var st asyncsgd.SweepJobStatus
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return st, err
+	}
+	resp, err := http.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		msg, _ := io.ReadAll(resp.Body)
+		return st, fmt.Errorf("submit: %s: %s", resp.Status, msg)
+	}
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// result polls the job until done and returns the final document bytes.
+func result(base, id string) ([]byte, error) {
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/sweeps/" + id + "/result")
+		if err != nil {
+			return nil, err
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			return body, nil
+		case http.StatusConflict:
+			time.Sleep(10 * time.Millisecond)
+		default:
+			return nil, fmt.Errorf("result: status %d: %s", resp.StatusCode, body)
+		}
+	}
+	return nil, fmt.Errorf("job %s never finished", id)
+}

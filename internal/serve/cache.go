@@ -1,0 +1,64 @@
+package serve
+
+import "container/list"
+
+// cached is one completed deterministic sweep retained for replay: the
+// job's event stream (per-cell results plus the final aggregate event)
+// and the exact document bytes the first computation produced. A cache
+// hit replays both verbatim, so a repeated identical spec is served
+// without recomputation and byte-identical to the original response —
+// including its timing fields, which a recomputation would perturb.
+type cached struct {
+	events []Event
+	doc    []byte
+}
+
+// lruCache is a size-bounded LRU map from request cache keys (see
+// SweepRequest.Key) to cached sweeps. Not safe for concurrent use; the
+// Server serializes access under its mutex.
+type lruCache struct {
+	max   int
+	order *list.List // front = most recently used; values are *lruEntry
+	byKey map[string]*list.Element
+}
+
+type lruEntry struct {
+	key string
+	val *cached
+}
+
+func newLRUCache(max int) *lruCache {
+	return &lruCache{max: max, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// get returns the entry for key, marking it most recently used.
+func (c *lruCache) get(key string) (*cached, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).val, true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// beyond capacity. A non-positive max disables the cache.
+func (c *lruCache) put(key string, val *cached) {
+	if c.max <= 0 {
+		return
+	}
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*lruEntry).val = val
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&lruEntry{key: key, val: val})
+	for c.order.Len() > c.max {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.byKey, oldest.Value.(*lruEntry).key)
+	}
+}
+
+// len reports the number of cached sweeps.
+func (c *lruCache) len() int { return c.order.Len() }

@@ -1,0 +1,135 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"asyncsgd/internal/sweep"
+)
+
+// The asgdbench/v2 JSON document, shared by `asgdbench sweep -json`,
+// `asgdbench -json` and the serve result endpoint. cmd/asgdbench aliases
+// these types, so the two front ends cannot drift apart: a sweep
+// submitted over HTTP yields the same bytes as the CLI run of the same
+// request, modulo the timing fields (seconds, updates_per_sec).
+
+// ExperimentRecord is one experiment's machine-readable record (the v1
+// part of the schema; produced by `asgdbench -json`, never by serve).
+type ExperimentRecord struct {
+	ID      string  `json:"id"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+	Output  string  `json:"output"`
+}
+
+// SweepRecord is the sweep record v2 adds over v1: the spec identity,
+// the aggregated table text, and one record per cell in deterministic
+// cell-index order.
+type SweepRecord struct {
+	Name    string             `json:"name"`
+	Seed    uint64             `json:"seed"`
+	Cells   int                `json:"cells"`
+	Seconds float64            `json:"seconds"`
+	Table   string             `json:"table"`
+	Results []sweep.CellResult `json:"results"`
+}
+
+// Report is the top-level asgdbench/v2 document.
+type Report struct {
+	Schema  string             `json:"schema"`
+	Scale   string             `json:"scale,omitempty"`
+	Results []ExperimentRecord `json:"results,omitempty"`
+	Sweep   *SweepRecord       `json:"sweep,omitempty"`
+}
+
+// Encode writes the document in the canonical on-the-wire form: two-space
+// indent, trailing newline — the exact bytes `asgdbench -json` prints and
+// the serve result endpoint returns.
+func (r *Report) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// FailedCells counts sweep cells that recorded an error.
+func (r *Report) FailedCells() int {
+	if r.Sweep == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.Sweep.Results {
+		if r.Sweep.Results[i].Err != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// RunRequest executes a sweep request end to end: normalize, expand into
+// one spec per runtime leg, run each leg on the weighted pool, and fold
+// everything into the asgdbench/v2 document. Per-cell results stream
+// through onResult (when non-nil) as cells complete, already carrying
+// their document-global indices (the "both" runtime concatenates two
+// specs). Canceling ctx stops the sweep between cells (see
+// sweep.RunContext) and returns ctx.Err(); no document is produced.
+//
+// Failed cells do not fail the run — they are recorded in their
+// CellResult.Err exactly as the engine left them (callers gate on
+// Report.FailedCells).
+func RunRequest(ctx context.Context, req SweepRequest, onResult func(sweep.CellResult)) (*Report, error) {
+	req, err := req.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	specs, err := req.Specs()
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var all []sweep.CellResult
+	var names []string
+	for _, spec := range specs {
+		names = append(names, spec.Name)
+		// Re-index so the combined document has unique cell indices when
+		// the "both" runtime concatenates two specs; the streamed events
+		// carry the same global indices as the final document.
+		offset := len(all)
+		if onResult != nil {
+			spec.OnResult = func(r sweep.CellResult) {
+				r.Index += offset
+				onResult(r)
+			}
+		}
+		results, err := sweep.RunContext(ctx, spec)
+		if err != nil {
+			return nil, err
+		}
+		for i := range results {
+			results[i].Index += offset
+		}
+		all = append(all, results...)
+	}
+	elapsed := time.Since(start)
+
+	// The note stays timing-free so the document's table field is
+	// byte-identical across reruns; wall-clock lives in the seconds
+	// fields.
+	tbl := sweep.Table("staleness phase diagram (sweep engine)", sweep.Aggregate(all))
+	tbl.Note = fmt.Sprintf("%d cells; τ=%v × workers=%v × keep=%v × %d replicates",
+		len(all), req.Taus, req.Workers, req.Sparsity, req.Replicates)
+	return &Report{
+		Schema: sweep.SchemaV2,
+		Sweep: &SweepRecord{
+			Name:    strings.Join(names, "+"),
+			Seed:    *req.Seed,
+			Cells:   len(all),
+			Seconds: elapsed.Seconds(),
+			Table:   tbl.String(),
+			Results: all,
+		},
+	}, nil
+}

@@ -1,0 +1,185 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"time"
+
+	"asyncsgd/internal/sweep"
+)
+
+// Job states. A job moves queued → running → {done, failed}, or to
+// canceled from either non-terminal state.
+const (
+	JobQueued   = "queued"
+	JobRunning  = "running"
+	JobDone     = "done"
+	JobFailed   = "failed"
+	JobCanceled = "canceled"
+)
+
+// Event is one element of a job's event stream (NDJSON line / SSE
+// event). Exactly one of Cell, Document, Err is set, per Type:
+//
+//   - "cell": one completed grid cell, in completion order, carrying the
+//     same document-global index as the final aggregate's results array.
+//   - "aggregate": the terminal success event; Document is the full
+//     asgdbench/v2 report (the bytes GET …/result returns, compacted
+//     into the event line).
+//   - "error": the terminal failure/cancellation event.
+type Event struct {
+	Type     string            `json:"type"`
+	Cell     *sweep.CellResult `json:"cell,omitempty"`
+	Document json.RawMessage   `json:"document,omitempty"`
+	Err      string            `json:"err,omitempty"`
+}
+
+// Job is one submitted sweep: its normalized request, its position in
+// the queue, its buffered event stream (kept whole so late subscribers
+// replay from the beginning), and — once done — the final document
+// bytes.
+type Job struct {
+	// Immutable after creation.
+	id    string
+	key   string
+	req   SweepRequest
+	cells int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu        sync.Mutex
+	state     string
+	cached    bool
+	errMsg    string
+	events    []Event
+	completed int // cell events so far
+	failed    int // … of which carried an error
+	doc       []byte
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	notify    chan struct{} // closed and replaced on every mutation
+}
+
+func newJob(id, key string, req SweepRequest, cells int, ctx context.Context, cancel context.CancelFunc) *Job {
+	return &Job{
+		id: id, key: key, req: req, cells: cells,
+		ctx: ctx, cancel: cancel,
+		state:     JobQueued,
+		submitted: time.Now(),
+		notify:    make(chan struct{}),
+	}
+}
+
+// bump wakes every subscriber. Callers hold j.mu.
+func (j *Job) bump() {
+	close(j.notify)
+	j.notify = make(chan struct{})
+}
+
+// appendCell records one streamed cell result. Events arriving after
+// the job is already terminal (a cancellation landed mid-stream) are
+// dropped: subscribers rely on the terminal event being last.
+func (j *Job) appendCell(r sweep.CellResult) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal() {
+		return
+	}
+	j.events = append(j.events, Event{Type: "cell", Cell: &r})
+	j.completed++
+	if r.Err != "" {
+		j.failed++
+	}
+	j.bump()
+}
+
+// finish moves the job to a terminal state, appending the terminal
+// event: the aggregate document on success, the error otherwise. A job
+// can reach a terminal state exactly once — late calls (a cancellation
+// racing the executor) are no-ops. Terminal jobs also release their
+// context's cancel registration so a long-lived server does not
+// accumulate one child context per submission.
+func (j *Job) finish(state string, doc []byte, errMsg string) {
+	j.mu.Lock()
+	j.finishLocked(state, doc, errMsg)
+	j.mu.Unlock()
+	j.cancel()
+}
+
+// finishLocked is finish without the locking or the context release.
+// Callers hold j.mu and must call j.cancel() after unlocking.
+func (j *Job) finishLocked(state string, doc []byte, errMsg string) {
+	if j.terminal() {
+		return
+	}
+	j.state = state
+	j.errMsg = errMsg
+	j.doc = doc
+	j.finished = time.Now()
+	if state == JobDone {
+		j.events = append(j.events, Event{Type: "aggregate", Document: doc})
+	} else {
+		j.events = append(j.events, Event{Type: "error", Err: errMsg})
+	}
+	j.bump()
+}
+
+// terminal reports whether the job has reached a final state. Callers
+// hold j.mu.
+func (j *Job) terminal() bool {
+	return j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
+}
+
+// JobStatus is the introspection record of one job (GET /v1/sweeps/{id}
+// and the /v1/jobs listing).
+type JobStatus struct {
+	ID    string `json:"id"`
+	State string `json:"state"`
+	// Cached marks a job served from the LRU result cache without
+	// recomputation.
+	Cached bool `json:"cached,omitempty"`
+	// Key is the request's deterministic cache key (shared by every job
+	// submitted with an equivalent spec).
+	Key     string `json:"key"`
+	Runtime string `json:"runtime"`
+	// Cells is the grid size; Completed counts cells finished so far
+	// (equal to Cells once the job is done); Failed counts completed
+	// cells that recorded an error.
+	Cells     int    `json:"cells"`
+	Completed int    `json:"completed"`
+	Failed    int    `json:"failed,omitempty"`
+	Submitted string `json:"submitted"`
+	// Seconds is the execution time so far (0 until the job starts;
+	// frozen at completion; 0 forever for cache hits).
+	Seconds float64 `json:"seconds,omitempty"`
+	Err     string  `json:"err,omitempty"`
+}
+
+// status snapshots the job.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Cached:    j.cached,
+		Key:       j.key,
+		Runtime:   j.req.Runtime,
+		Cells:     j.cells,
+		Completed: j.completed,
+		Failed:    j.failed,
+		Submitted: j.submitted.UTC().Format(time.RFC3339Nano),
+		Err:       j.errMsg,
+	}
+	switch {
+	case j.started.IsZero():
+	case j.finished.IsZero():
+		st.Seconds = time.Since(j.started).Seconds()
+	default:
+		st.Seconds = j.finished.Sub(j.started).Seconds()
+	}
+	return st
+}

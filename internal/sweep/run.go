@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,21 @@ import (
 // cells competing for cores. Admission is FIFO in cell order, so a wide
 // cell blocks later cells rather than starving forever.
 func Run(s Spec) ([]CellResult, error) {
+	return RunContext(context.Background(), s)
+}
+
+// ErrCanceled is the Err recorded on cells the dispatcher never started
+// because the run's context was canceled first.
+const ErrCanceled = "sweep: canceled before execution"
+
+// RunContext is Run with job-scoped cancellation: when ctx is canceled
+// the dispatcher stops admitting cells, cells already executing run to
+// completion (the runtimes are not interruptible mid-iteration, so
+// cancellation latency is bounded by the longest in-flight cell), and
+// every never-started cell records ErrCanceled in its result. The
+// returned slice always has one entry per grid cell in cell-index order;
+// the error is ctx.Err() when the run was cut short, nil otherwise.
+func RunContext(ctx context.Context, s Spec) ([]CellResult, error) {
 	cells, err := s.Cells()
 	if err != nil {
 		return nil, err
@@ -42,9 +58,20 @@ func Run(s Spec) ([]CellResult, error) {
 		wg     sync.WaitGroup
 		emitMu sync.Mutex
 	)
-	for _, c := range cells {
+	canceledFrom := len(cells)
+	for i, c := range cells {
+		if ctx.Err() != nil {
+			canceledFrom = i
+			break
+		}
 		w := cellWeight(c, capacity)
 		gate.acquire(w) // FIFO: blocks the dispatcher until w slots free up
+		if ctx.Err() != nil {
+			// Canceled while waiting for slots: do not start this cell.
+			gate.release(w)
+			canceledFrom = i
+			break
+		}
 		wg.Add(1)
 		go func(c Cell, w int) {
 			defer wg.Done()
@@ -59,6 +86,16 @@ func Run(s Spec) ([]CellResult, error) {
 		}(c, w)
 	}
 	wg.Wait()
+	if canceledFrom < len(cells) {
+		for _, c := range cells[canceledFrom:] {
+			res := CellResult{Cell: c, MaxStaleness: -1, Err: ErrCanceled}
+			results[c.Index] = res
+			if s.OnResult != nil {
+				s.OnResult(res)
+			}
+		}
+		return results, ctx.Err()
+	}
 	return results, nil
 }
 

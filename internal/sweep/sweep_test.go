@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -354,5 +355,82 @@ func TestOnResultStreams(t *testing.T) {
 		if r.Index != i {
 			t.Errorf("result %d out of order (Index %d)", i, r.Index)
 		}
+	}
+}
+
+// TestRunContextCancel: canceling the context mid-sweep stops the
+// dispatcher; every cell still gets a result slot, the tail records
+// ErrCanceled, and RunContext reports ctx.Err().
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := 0
+	s := Spec{
+		Seed:       3,
+		Runtimes:   []Runtime{Machine},
+		Oracles:    []Oracle{quadOracle()},
+		Strategies: []Strategy{LockFree()},
+		Alphas:     []float64{0.05},
+		Replicates: 12,
+		Iters:      50,
+		// Serialize the pool so cancellation lands at a deterministic
+		// point in the FIFO dispatch order.
+		MaxConcurrent: 1,
+		OnResult: func(r CellResult) {
+			if r.Err == "" {
+				started++
+				if started == 2 {
+					cancel()
+				}
+			}
+		},
+	}
+	res, err := RunContext(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(res) != 12 {
+		t.Fatalf("got %d results, want one per cell (12)", len(res))
+	}
+	ran, canceled := 0, 0
+	for i, r := range res {
+		switch r.Err {
+		case "":
+			ran++
+			if r.Iters != 50 {
+				t.Errorf("cell %d: completed cell has Iters %d", i, r.Iters)
+			}
+		case ErrCanceled:
+			canceled++
+		default:
+			t.Errorf("cell %d: unexpected error %q", i, r.Err)
+		}
+	}
+	if ran == 0 || canceled == 0 || ran+canceled != 12 {
+		t.Fatalf("ran %d canceled %d, want both non-zero summing to 12", ran, canceled)
+	}
+	// Completed cells form a prefix: FIFO admission means cancellation
+	// cuts the cell order, it does not skip around.
+	for i := 1; i < len(res); i++ {
+		if res[i].Err == "" && res[i-1].Err == ErrCanceled {
+			t.Fatalf("cell %d ran after cell %d was canceled", i, i-1)
+		}
+	}
+}
+
+// TestRunContextUncanceled: a background context changes nothing.
+func TestRunContextUncanceled(t *testing.T) {
+	s := Spec{
+		Seed:       4,
+		Oracles:    []Oracle{quadOracle()},
+		Strategies: []Strategy{LockFree()},
+		Alphas:     []float64{0.05},
+		Iters:      20,
+	}
+	res, err := RunContext(context.Background(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Err != "" {
+		t.Fatalf("unexpected results %+v", res)
 	}
 }

@@ -1,0 +1,21 @@
+// Package version carries the single version string the repo's binaries
+// (asgdbench, asgdviz, asgdserve) report through their shared -version
+// flag and the serve /healthz endpoint. Bump it when a PR changes a
+// binary's observable behavior or a JSON schema.
+package version
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Version identifies the module build. The repo is versioned by PR
+// sequence (PR 5 introduced the flag), not by tags.
+const Version = "0.5.0"
+
+// String is the one-line form the -version flag prints:
+// "<binary> <version> (<go version> <os>/<arch>)".
+func String(binary string) string {
+	return fmt.Sprintf("%s %s (%s %s/%s)",
+		binary, Version, runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
