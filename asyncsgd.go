@@ -217,18 +217,42 @@ func AlphaAsync(cst Constants, eps, vartheta float64, tauMax, n, d int) float64 
 // --- real-thread runtime --------------------------------------------------
 
 type (
-	// ParallelConfig parameterizes the real-goroutine runtime.
+	// ParallelConfig parameterizes the real-goroutine runtime. Beyond
+	// workers/iterations/step size it carries the performance knobs:
+	// Layout pins the model's memory layout (the LayoutAuto default
+	// picks the cache-line-banked layout at d ≥ hogwild.BankedAbove and
+	// honors Padded below it), and PinWorkers locks each worker
+	// goroutine to an OS thread for stable cache/NUMA placement.
 	ParallelConfig = hogwild.Config
 	// ParallelResult is its outcome.
 	ParallelResult = hogwild.Result
 	// Mode selects a built-in synchronization discipline.
 	Mode = hogwild.Mode
+	// ModelLayout selects the shared model's memory layout in
+	// ParallelConfig (auto, packed, cache-line-banked or padded).
+	ModelLayout = hogwild.Layout
 	// Strategy is the pluggable synchronization discipline of the
 	// real-thread runtime; implement it to add new disciplines without
 	// touching RunParallel.
 	Strategy = hogwild.Strategy
 	// Stepper executes SGD iterations for one worker under a Strategy.
 	Stepper = hogwild.Stepper
+	// BulkApplier is the optional Strategy capability for applying a
+	// dense gradient in amortized coordinate runs instead of d
+	// per-coordinate calls; the built-in lock-free and striped-lock
+	// strategies implement it.
+	BulkApplier = hogwild.BulkApplier
+)
+
+// Model layout choices for ParallelConfig.Layout. LayoutAuto (the zero
+// value) derives the layout from Padded and the dimension: banked at
+// d ≥ hogwild.BankedAbove, padded when requested below it, packed
+// otherwise.
+const (
+	LayoutAuto   = hogwild.LayoutAuto
+	LayoutPacked = hogwild.LayoutPacked
+	LayoutBanked = hogwild.LayoutBanked
+	LayoutPadded = hogwild.LayoutPadded
 )
 
 // Real-thread synchronization modes.

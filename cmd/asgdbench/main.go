@@ -165,6 +165,7 @@ func runSweep(args []string, out io.Writer) error {
 	seed := fs.Uint64("seed", 1701, "spec seed (per-cell seeds are split from it)")
 	adversary := fs.Int("adversary", 24, "machine runtime: MaxStale budget (0 = round-robin)")
 	runtimeName := fs.String("runtime", "machine", "cell runtime: machine, hogwild or both")
+	pin := fs.Bool("pin", false, "hogwild runtime: pin worker goroutines to OS threads")
 	asJSON := fs.Bool("json", false, "emit the asgdbench/v2 JSON document with per-cell records")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Usage = func() {
@@ -223,6 +224,7 @@ Examples:
 		Seed:       seed,
 		Adversary:  adversary,
 		Runtime:    *runtimeName,
+		Pin:        *pin,
 	}
 	start := time.Now()
 	report, err := serve.RunRequest(context.Background(), req, nil)

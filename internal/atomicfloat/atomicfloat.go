@@ -12,6 +12,7 @@ package atomicfloat
 import (
 	"math"
 	"sync/atomic"
+	"unsafe"
 )
 
 // Float64 is an atomic float64 cell. The zero value holds 0.
@@ -48,41 +49,132 @@ func (f *Float64) CompareAndSwap(old, new float64) bool {
 	return f.bits.CompareAndSwap(math.Float64bits(old), math.Float64bits(new))
 }
 
-// cacheLineBytes is the assumed cache line size for padding.
+// cacheLineBytes is the assumed cache line size for padding and bank
+// alignment.
 const cacheLineBytes = 64
+
+// cellsPerLine is the number of 8-byte cells in one cache line — the bank
+// width of the banked layout.
+const cellsPerLine = cacheLineBytes / 8
 
 // padShift is the log2 stride of the padded layout: 8 cells of 8 bytes
 // give each coordinate its own cache line.
 const padShift = 3
 
+// Layout selects the memory layout of a Vector.
+type Layout uint8
+
+const (
+	// Packed stores coordinates contiguously with no alignment
+	// guarantee: minimal memory, coordinates may false-share, and a
+	// cache line's worth of coordinates may straddle two lines.
+	Packed Layout = iota
+	// Banked stores coordinates contiguously like Packed but aligns the
+	// allocation to a cache-line boundary, partitioning the vector into
+	// 64-byte banks of 8 coordinates each: bank b holds coordinates
+	// [8b, 8b+8), no bank straddles two lines, and bulk run operations
+	// walk whole banks with unit stride. Same memory as Packed (plus
+	// one line of alignment slack); the layout of choice at large d.
+	Banked
+	// Padded gives each coordinate its own (aligned) cache line: writes
+	// to distinct coordinates never false-share, at ~8x the memory of
+	// Packed/Banked — one 64-byte line per 8-byte coordinate. Viable
+	// for small models only; at d = 10⁶ it spends half a gigabyte on
+	// padding, which is why large dimensions use Banked instead.
+	Padded
+)
+
+// String names the layout for benchmarks and reports.
+func (l Layout) String() string {
+	switch l {
+	case Packed:
+		return "packed"
+	case Banked:
+		return "banked"
+	case Padded:
+		return "padded"
+	default:
+		return "unknown"
+	}
+}
+
 // Vector is a fixed-dimension vector of atomic float64 coordinates.
 //
-// Two layouts are supported: packed (compact; coordinates may false-share)
-// and padded (one cache line per coordinate; ~8x memory). Padding matters
-// only for real-thread throughput benchmarks; correctness is identical.
-//
-// Both layouts share one representation — a single cell slice indexed
-// with a power-of-two stride (coordinate i lives at cells[i<<shift], with
-// shift 0 packed and 3 padded) — so the per-coordinate accessors are
-// branch-free: the old split packed/padded fields cost a taken-or-not
-// branch inside every FetchAdd and Load of the hogwild inner loop.
+// Three layouts are supported — see Layout. All share one representation:
+// a single cell slice indexed with a power-of-two stride (coordinate i
+// lives at cells[i<<shift], with shift 0 for Packed/Banked and 3 for
+// Padded), so the per-coordinate accessors are branch-free: the old split
+// packed/padded fields cost a taken-or-not branch inside every FetchAdd
+// and Load of the hogwild inner loop. Banked and Padded additionally
+// align cells[0] to a cache-line boundary.
 type Vector struct {
-	cells []Float64
-	shift uint8
+	cells  []Float64
+	shift  uint8
+	layout Layout
+}
+
+// alignedCells allocates n cells whose first element sits on a cache-line
+// boundary, by over-allocating one line's worth of slack and slicing to
+// the first aligned cell. The Go allocator already line-aligns large
+// objects, so the slack is usually zero waste beyond the reservation.
+func alignedCells(n int) []Float64 {
+	if n == 0 {
+		return nil
+	}
+	raw := make([]Float64, n+cellsPerLine-1)
+	addr := uintptr(unsafe.Pointer(&raw[0]))
+	off := 0
+	if rem := addr % cacheLineBytes; rem != 0 {
+		off = int((cacheLineBytes - rem) / 8)
+	}
+	return raw[off : off+n : off+n]
+}
+
+// New returns an all-zero atomic vector of dimension d in the given
+// layout.
+func New(d int, layout Layout) *Vector {
+	switch layout {
+	case Banked:
+		return NewBankedVector(d)
+	case Padded:
+		return NewPaddedVector(d)
+	default:
+		return NewVector(d)
+	}
 }
 
 // NewVector returns a packed atomic vector of dimension d, all zeros.
 func NewVector(d int) *Vector {
-	return &Vector{cells: make([]Float64, d)}
+	return &Vector{cells: make([]Float64, d), layout: Packed}
 }
 
-// NewPaddedVector returns a cache-line-padded atomic vector of dimension d.
+// NewBankedVector returns a cache-line-aligned packed atomic vector of
+// dimension d: coordinates are contiguous, the allocation starts on a
+// 64-byte boundary, and every aligned run of 8 coordinates occupies
+// exactly one cache line (one bank).
+func NewBankedVector(d int) *Vector {
+	return &Vector{cells: alignedCells(d), layout: Banked}
+}
+
+// NewPaddedVector returns a cache-line-padded atomic vector of dimension
+// d: each coordinate occupies its own aligned 64-byte line, eliminating
+// false sharing at ~8x the memory of the packed/banked layouts (MemBytes
+// reports exactly 8x). Use for small, write-hot models; prefer Banked
+// once the model outgrows the last-level cache.
 func NewPaddedVector(d int) *Vector {
-	return &Vector{cells: make([]Float64, d<<padShift), shift: padShift}
+	return &Vector{cells: alignedCells(d << padShift), shift: padShift, layout: Padded}
 }
 
 // Dim returns the dimension.
 func (v *Vector) Dim() int { return len(v.cells) >> v.shift }
+
+// Layout reports the vector's memory layout.
+func (v *Vector) Layout() Layout { return v.layout }
+
+// MemBytes reports the cell storage the layout addresses, in bytes —
+// 8·d for Packed/Banked, 64·d for Padded (the documented ~8x cost;
+// alignment slack of up to one cache line is excluded).
+func (v *Vector) MemBytes() int { return len(v.cells) * int(unsafe.Sizeof(Float64{})) }
 
 // Load returns coordinate i.
 func (v *Vector) Load(i int) float64 { return v.cells[i<<v.shift].Load() }
@@ -145,19 +237,94 @@ func (v *Vector) GatherInto(dst []float64, idx []int) {
 // end-of-run result extraction calls.
 func (v *Vector) Snapshot(dst []float64) { v.LoadAll(dst) }
 
+// FetchAddRun atomically adds deltas[k] to coordinate start+k for every
+// k, in ascending coordinate order — the bulk dense-apply primitive. Each
+// coordinate's fetch&add is individually atomic (the run as a whole is
+// not a transaction, matching the paper's per-register model); the win
+// over len(deltas) FetchAdd calls is that the shift and bounds work is
+// hoisted out of the inner loop, leaving a unit-stride CAS scan in the
+// packed/banked layouts. Panics if the run [start, start+len(deltas))
+// leaves [0, Dim).
+func (v *Vector) FetchAddRun(start int, deltas []float64) {
+	if v.shift == 0 {
+		cells := v.cells[start : start+len(deltas)] // one bounds check for the run
+		for k, dk := range deltas {
+			cells[k].Add(dk)
+		}
+		return
+	}
+	s := v.shift
+	if start < 0 || start+len(deltas) > v.Dim() {
+		panic("atomicfloat: FetchAddRun out of range")
+	}
+	for k, dk := range deltas {
+		v.cells[(start+k)<<s].Add(dk)
+	}
+}
+
+// FetchAddScaledRun atomically adds scale·src[k] to coordinate start+k
+// for every k, in ascending coordinate order. It is the fused form of
+// staging scale·src in a scratch buffer and calling FetchAddRun: the
+// per-coordinate arithmetic is exactly Add(scale*src[k]), so the stored
+// bits are identical to the staged form — what changes is that the
+// deltas never round-trip through memory, which at d = 10⁶ removes two
+// full vector traversals from every dense apply. Panics if the run
+// [start, start+len(src)) leaves [0, Dim).
+func (v *Vector) FetchAddScaledRun(start int, src []float64, scale float64) {
+	if v.shift == 0 {
+		cells := v.cells[start : start+len(src)] // one bounds check for the run
+		for k, x := range src {
+			cells[k].Add(scale * x)
+		}
+		return
+	}
+	s := v.shift
+	if start < 0 || start+len(src) > v.Dim() {
+		panic("atomicfloat: FetchAddScaledRun out of range")
+	}
+	for k, x := range src {
+		v.cells[(start+k)<<s].Add(scale * x)
+	}
+}
+
+// StoreRun stores src[k] into coordinate start+k for every k, in
+// ascending coordinate order — the bulk store primitive behind StoreAll
+// and the batch-flush paths. The same hoisted-bounds, unit-stride
+// structure as FetchAddRun; panics if the run leaves [0, Dim).
+func (v *Vector) StoreRun(start int, src []float64) {
+	if v.shift == 0 {
+		cells := v.cells[start : start+len(src)]
+		for k, x := range src {
+			cells[k].Store(x)
+		}
+		return
+	}
+	s := v.shift
+	if start < 0 || start+len(src) > v.Dim() {
+		panic("atomicfloat: StoreRun out of range")
+	}
+	for k, x := range src {
+		v.cells[(start+k)<<s].Store(x)
+	}
+}
+
 // StoreAll sets every coordinate from src (length must equal Dim).
 func (v *Vector) StoreAll(src []float64) {
-	d := v.Dim()
-	if len(src) != d {
+	if len(src) != v.Dim() {
 		panic("atomicfloat: StoreAll src dimension mismatch")
 	}
-	for i := 0; i < d; i++ {
-		v.Store(i, src[i])
-	}
+	v.StoreRun(0, src)
 }
 
 // Zero resets every coordinate to 0.
 func (v *Vector) Zero() {
+	if v.shift == 0 {
+		cells := v.cells
+		for i := range cells {
+			cells[i].Store(0)
+		}
+		return
+	}
 	d := v.Dim()
 	for i := 0; i < d; i++ {
 		v.Store(i, 0)

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 	"testing"
+	"unsafe"
 )
 
 func TestFloat64LoadStore(t *testing.T) {
@@ -135,6 +136,172 @@ func TestConcurrentVectorFetchAdd(t *testing.T) {
 	want := float64(workers*perWorker) * 0.5
 	if math.Abs(total-want) > 1e-9 {
 		t.Errorf("total = %v, want %v", total, want)
+	}
+}
+
+// layouts is the constructor matrix shared by the layout-generic tests.
+var layouts = []struct {
+	name string
+	kind Layout
+	mk   func(int) *Vector
+}{
+	{"packed", Packed, NewVector},
+	{"banked", Banked, NewBankedVector},
+	{"padded", Padded, NewPaddedVector},
+}
+
+func TestNewSelectsLayout(t *testing.T) {
+	for _, l := range layouts {
+		v := New(5, l.kind)
+		if v.Layout() != l.kind {
+			t.Errorf("New(5, %v).Layout() = %v", l.kind, v.Layout())
+		}
+		if v.Dim() != 5 {
+			t.Errorf("New(5, %v).Dim() = %d", l.kind, v.Dim())
+		}
+	}
+}
+
+// Banked and Padded promise that cells[0] sits on a cache-line boundary;
+// the guarantee is what makes a bank (8 consecutive coordinates) occupy
+// exactly one line.
+func TestAlignedLayoutsStartOnCacheLine(t *testing.T) {
+	for _, l := range layouts {
+		if l.kind == Packed {
+			continue
+		}
+		for _, d := range []int{1, 7, 8, 9, 63, 64, 100, 1 << 12} {
+			v := l.mk(d)
+			addr := uintptr(unsafe.Pointer(&v.cells[0]))
+			if addr%cacheLineBytes != 0 {
+				t.Errorf("%s d=%d: cells[0] at %#x not %d-byte aligned",
+					l.name, d, addr, cacheLineBytes)
+			}
+		}
+	}
+	if v := NewBankedVector(0); v.Dim() != 0 || v.MemBytes() != 0 {
+		t.Errorf("empty banked vector: Dim=%d MemBytes=%d", v.Dim(), v.MemBytes())
+	}
+}
+
+// The documented ~8x memory cost of the padded layout, pinned exactly:
+// MemBytes is 8 bytes per coordinate for Packed/Banked and 64 for Padded.
+func TestPaddedMemoryCostIs8x(t *testing.T) {
+	const d = 1024
+	packed, banked, padded := NewVector(d), NewBankedVector(d), NewPaddedVector(d)
+	if packed.MemBytes() != 8*d || banked.MemBytes() != 8*d {
+		t.Errorf("packed/banked MemBytes = %d/%d, want %d",
+			packed.MemBytes(), banked.MemBytes(), 8*d)
+	}
+	if padded.MemBytes() != 64*d {
+		t.Errorf("padded MemBytes = %d, want %d", padded.MemBytes(), 64*d)
+	}
+	if r := padded.MemBytes() / banked.MemBytes(); r != 8 {
+		t.Errorf("padded/banked memory ratio = %d, want 8", r)
+	}
+}
+
+// FetchAddRun/StoreRun must agree with the per-coordinate primitives on
+// every layout, including runs at odd offsets and lengths that straddle
+// bank boundaries.
+func TestBulkRunsMatchScalarOps(t *testing.T) {
+	const d = 37 // deliberately not a multiple of the bank width
+	for _, l := range layouts {
+		v := l.mk(d)
+		ref := make([]float64, d)
+		init := make([]float64, d)
+		for i := range init {
+			init[i] = float64(i) * 0.25
+			ref[i] = init[i]
+		}
+		v.StoreAll(init)
+		for _, run := range []struct{ start, n int }{
+			{0, d}, {0, 1}, {5, 3}, {7, 9}, {31, 6}, {d - 1, 1}, {d, 0}, {3, 0},
+		} {
+			deltas := make([]float64, run.n)
+			for k := range deltas {
+				deltas[k] = float64(run.start+k) + 0.5
+			}
+			v.FetchAddRun(run.start, deltas)
+			for k, dk := range deltas {
+				ref[run.start+k] += dk
+			}
+		}
+		got := make([]float64, d)
+		v.LoadAll(got)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%s: after FetchAddRun, v[%d] = %v, want %v", l.name, i, got[i], ref[i])
+			}
+		}
+		v.StoreRun(5, []float64{-1, -2, -3})
+		ref[5], ref[6], ref[7] = -1, -2, -3
+		v.LoadAll(got)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%s: after StoreRun, v[%d] = %v, want %v", l.name, i, got[i], ref[i])
+			}
+		}
+		// FetchAddScaledRun(start, src, scale) must be bit-identical to
+		// per-coordinate Add(scale*src[k]).
+		src := []float64{0.125, -3, 7.75, 0.1}
+		const scale = -0.01
+		v.FetchAddScaledRun(9, src, scale)
+		for k, x := range src {
+			ref[9+k] += scale * x
+		}
+		v.LoadAll(got)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Errorf("%s: after FetchAddScaledRun, v[%d] = %x, want %x", l.name, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestBulkRunsPanicOutOfRange(t *testing.T) {
+	for _, l := range layouts {
+		v := l.mk(8)
+		for name, fn := range map[string]func(){
+			"fetchaddrun-past-end": func() { v.FetchAddRun(5, make([]float64, 4)) },
+			"fetchaddrun-negative": func() { v.FetchAddRun(-1, make([]float64, 2)) },
+			"storerun-past-end":    func() { v.StoreRun(7, make([]float64, 2)) },
+			"storerun-negative":    func() { v.StoreRun(-2, make([]float64, 1)) },
+			"scaledrun-past-end":   func() { v.FetchAddScaledRun(6, make([]float64, 3), 2) },
+			"scaledrun-negative":   func() { v.FetchAddScaledRun(-1, make([]float64, 1), 2) },
+		} {
+			func() {
+				defer func() {
+					if recover() == nil {
+						t.Errorf("%s/%s did not panic", l.name, name)
+					}
+				}()
+				fn()
+			}()
+		}
+	}
+}
+
+// The bulk paths are inner-loop primitives of the hogwild steppers; they
+// must stay allocation-free on every layout.
+func TestBulkRunsAllocFree(t *testing.T) {
+	const d = 256
+	for _, l := range layouts {
+		v := l.mk(d)
+		deltas := make([]float64, d)
+		dst := make([]float64, d)
+		idx := []int{0, 3, 17, 42, 200, d - 1}
+		gath := make([]float64, len(idx))
+		if n := testing.AllocsPerRun(100, func() {
+			v.FetchAddRun(0, deltas)
+			v.FetchAddScaledRun(0, deltas, -0.5)
+			v.StoreRun(0, deltas)
+			v.LoadAll(dst)
+			v.GatherInto(gath, idx)
+			v.Zero()
+		}); n != 0 {
+			t.Errorf("%s: bulk paths allocate %v per run, want 0", l.name, n)
+		}
 	}
 }
 

@@ -28,6 +28,7 @@ type PhaseOpts struct {
 	Iters      int       // per-cell iteration budget
 	Seed       uint64    // spec seed (per-cell seeds are split from it)
 	Adversary  int       // Machine only: MaxStale budget (0 ⇒ round-robin)
+	Pin        bool      // Hogwild only: pin worker goroutines to OS threads
 }
 
 // phaseOracle is one sparsity-axis entry: least squares over synthetic
@@ -93,6 +94,7 @@ func PhaseDiagramSpec(o PhaseOpts) (sweep.Spec, error) {
 		Alphas:     []float64{0.3 / lmax},
 		Replicates: o.Replicates,
 		Iters:      o.Iters,
+		PinWorkers: o.Pin,
 	}
 	if o.Runtime == sweep.Machine && o.Adversary > 0 {
 		budget := o.Adversary

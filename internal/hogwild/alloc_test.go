@@ -87,15 +87,20 @@ func TestVectorBulkPathsAllocFree(t *testing.T) {
 		v    *atomicfloat.Vector
 	}{
 		{"packed", atomicfloat.NewVector(64)},
+		{"banked", atomicfloat.NewBankedVector(64)},
 		{"padded", atomicfloat.NewPaddedVector(64)},
 	} {
 		dst := make([]float64, 64)
 		idx := []int{0, 7, 31, 63}
 		gath := make([]float64, len(idx))
+		run := make([]float64, 24)
 		allocs := testing.AllocsPerRun(100, func() {
 			tc.v.LoadAll(dst)
 			tc.v.GatherInto(gath, idx)
 			tc.v.FetchAdd(11, 0.5)
+			tc.v.FetchAddRun(3, run)
+			tc.v.FetchAddScaledRun(3, run, -0.25)
+			tc.v.StoreRun(40, run)
 		})
 		if allocs != 0 {
 			t.Errorf("%s: bulk-path allocs = %v, want 0", tc.name, allocs)

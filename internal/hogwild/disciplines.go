@@ -2,6 +2,7 @@ package hogwild
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sort"
 	"sync/atomic"
@@ -53,35 +54,104 @@ type Flusher interface {
 	Flush() int
 }
 
-// --- ordered ticket window --------------------------------------------------
+// --- striped ticket window --------------------------------------------------
 
-// orderedWindow issues iteration tickets and publishes completions in
-// ticket order, making done a true low-water mark: done == t means every
-// ticket < t has completed. Because a completion cannot be published
-// before its predecessors', done never exceeds the oldest in-flight
-// ticket — which is what turns a "done ≥ t−τ" entry gate into a hard
-// staleness bound (see acquire).
-type orderedWindow struct {
-	issued atomic.Int64
-	done   atomic.Int64
+// idleSlot marks an announce slot whose worker holds no ticket.
+const idleSlot = int64(math.MaxInt64)
+
+// announceSlot is one worker's publish register, padded to a cache line
+// so concurrent announces by different workers never false-share.
+type announceSlot struct {
+	t atomic.Int64
+	_ [56]byte // 64 − 8: one slot per line
 }
 
-func (w *orderedWindow) reset() {
+// stripedWindow issues iteration tickets and tracks completion through a
+// striped low-water-mark register instead of a single contended `done`
+// word (the previous orderedWindow published completions in ticket order,
+// making every release spin for its predecessors and every completion a
+// store to one shared cache line — the gate itself became the bottleneck
+// at high worker counts).
+//
+// Each worker owns a padded announce slot. The protocol:
+//
+//	acquire:  announce the candidate ticket t in the own slot BEFORE
+//	          CAS-claiming it from issued, so a claimed-but-incomplete
+//	          ticket is visible in its holder's slot at every instant;
+//	release:  store idleSlot — one uncontended write, no ordering spin.
+//
+// The low-water mark is min(issued, slots...) with issued loaded BEFORE
+// the slot scan. Soundness: any claimed-incomplete ticket u < issued(s₀)
+// sits in its holder's slot throughout the scan, so the scan returns
+// ≤ u; unclaimed tickets are ≥ issued(s₀). Hence lowWater() ≤ every
+// incomplete ticket, and "lowWater ≥ minDone(t)" is the same admission
+// gate the ordered window enforced — the ≤ τ staleness bound is
+// preserved exactly (see acquire). Completion of a ticket is permanent,
+// so the mark is monotone and lwm caches the best scan: admissions whose
+// threshold is already met skip the O(workers) scan entirely.
+type stripedWindow struct {
+	issued atomic.Int64
+	lwm    atomic.Int64 // cached low-water mark, only ever raised
+	slots  []announceSlot
+}
+
+// reset re-initializes the window for a fresh run, dropping all
+// registered slots (steppers re-register via register). Callers
+// guarantee no worker is in flight.
+func (w *stripedWindow) reset() {
 	w.issued.Store(0)
-	w.done.Store(0)
+	w.lwm.Store(0)
+	w.slots = w.slots[:0]
+}
+
+// register appends an announce slot for one worker and returns its
+// index. Called only from the launching goroutine (Run builds every
+// stepper before starting any worker), so the slice may grow freely.
+func (w *stripedWindow) register() int {
+	w.slots = append(w.slots, announceSlot{})
+	i := len(w.slots) - 1
+	w.slots[i].t.Store(idleSlot)
+	return i
+}
+
+// lowWater scans the register and returns a value v such that every
+// ticket < v has completed. issued is loaded before the slots: a ticket
+// claimed after that load is ≥ the loaded issued and cannot be missed.
+// The cached mark is raised CAS-free-loop style and never lowered.
+func (w *stripedWindow) lowWater() int64 {
+	min := w.issued.Load() // BEFORE the slot scan — see soundness note above
+	for i := range w.slots {
+		if v := w.slots[i].t.Load(); v < min {
+			min = v
+		}
+	}
+	for {
+		c := w.lwm.Load()
+		if min <= c {
+			return c
+		}
+		if w.lwm.CompareAndSwap(c, min) {
+			return min
+		}
+	}
 }
 
 // acquire admits the caller through the gate and returns its ticket.
 // Issuing the ticket IS the admission: the CAS on issued succeeds only
-// while done ≥ minDone(next ticket), so the invariant
-// issued ≤ done + window holds at every instant — while ticket t is
-// unpublished (done ≤ t), at most window−… newer tickets can be admitted.
-// For the bounded-staleness gate minDone(t) = t−τ this caps the number of
-// iterations that begin during any iteration's flight at exactly τ.
-func (w *orderedWindow) acquire(minDone func(t int64) int64) int64 {
+// while lowWater ≥ minDone(next ticket). While any ticket u is in
+// flight its holder's slot pins lowWater ≤ u, so an admission of t
+// requires t ≤ u + τ for the bounded-staleness gate minDone(t) = t−τ —
+// at most τ iterations begin during any iteration's flight, exactly the
+// ordered window's bound. The caller's own announce satisfies
+// t ≥ minDone(t) for every gate shape, so a spinning worker never
+// blocks itself (liveness); it re-announces each retry.
+func (w *stripedWindow) acquire(slot int, minDone func(t int64) int64) int64 {
+	me := &w.slots[slot].t
 	for {
 		t := w.issued.Load()
-		if w.done.Load() >= minDone(t) {
+		me.Store(t) // announce before claim: never hold an unannounced ticket
+		need := minDone(t)
+		if w.lwm.Load() >= need || w.lowWater() >= need {
 			if w.issued.CompareAndSwap(t, t+1) {
 				return t
 			}
@@ -94,20 +164,15 @@ func (w *orderedWindow) acquire(minDone func(t int64) int64) int64 {
 // begun returns the number of tickets issued after t, i.e. the number of
 // iterations that began while ticket t was in flight — the iteration's
 // staleness. Call before release.
-func (w *orderedWindow) begun(t int64) int64 {
+func (w *stripedWindow) begun(t int64) int64 {
 	return w.issued.Load() - 1 - t
 }
 
-// release publishes ticket t's completion, in ticket order. A worker that
-// finishes out of order waits here for its predecessors, so the window
-// behaves like a depth-τ ring buffer: a stalled iteration backpressures
-// the whole pipeline, which is what makes the staleness bound
-// unconditional (and caps in-flight work at min(window, workers)).
-func (w *orderedWindow) release(t int64) {
-	for w.done.Load() != t {
-		runtime.Gosched()
-	}
-	w.done.Store(t + 1)
+// release publishes ticket t's completion: one store to the worker's own
+// slot. No ordering spin — out-of-order completions simply leave the
+// low-water mark at the oldest still-running ticket.
+func (w *stripedWindow) release(slot int) {
+	w.slots[slot].t.Store(idleSlot)
 }
 
 // --- bounded staleness ------------------------------------------------------
@@ -122,7 +187,7 @@ type boundedStaleness struct {
 	model *atomicfloat.Vector
 	alpha float64
 	tau   int
-	win   orderedWindow
+	win   stripedWindow
 	obs   atomic.Int64 // max observed staleness of the current run
 }
 
@@ -158,16 +223,18 @@ func (s *boundedStaleness) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (S
 // gatedStepper is the shared iteration body of the window-gated
 // disciplines (bounded staleness, epoch fencing): acquire a ticket
 // through the discipline's gate, run one lock-free iteration, record the
-// observed staleness, publish in ticket order. With a grad.SparseOracle
-// the iteration body is the sparse pipeline (PlanSparse → GatherInto →
-// GradSparseAt → scatter fetch&add), so a gated run pays O(|support|+nnz)
-// shared operations per iteration, same as SparseLockFree — the gate
-// changes when an iteration may take its view, not how much of the model
-// it touches.
+// observed staleness, publish completion in the worker's announce slot.
+// With a grad.SparseOracle the iteration body is the sparse pipeline
+// (PlanSparse → GatherInto → GradSparseAt → scatter fetch&add), so a
+// gated run pays O(|support|+nnz) shared operations per iteration, same
+// as SparseLockFree — the gate changes when an iteration may take its
+// view, not how much of the model it touches. Dense and sparse applies
+// both go through the bulk run kernels.
 type gatedStepper struct {
 	model   *atomicfloat.Vector
 	alpha   float64
-	win     *orderedWindow
+	win     *stripedWindow
+	slot    int // this worker's announce slot in win
 	obs     *atomic.Int64
 	oracle  grad.Oracle
 	so      grad.SparseOracle // non-nil ⇒ sparse view reads
@@ -179,10 +246,11 @@ type gatedStepper struct {
 	sg      vec.Sparse // sparse path: the per-iteration gradient
 }
 
-func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *orderedWindow,
+func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *stripedWindow,
 	obs *atomic.Int64, oracle grad.Oracle, r *rng.Rand, minDone func(t int64) int64) *gatedStepper {
 	w := &gatedStepper{
-		model: model, alpha: alpha, win: win, obs: obs, oracle: oracle, r: r,
+		model: model, alpha: alpha, win: win, slot: win.register(),
+		obs: obs, oracle: oracle, r: r,
 		minDone: minDone,
 	}
 	if so, ok := grad.AsSparse(oracle); ok {
@@ -196,27 +264,18 @@ func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *orderedWindo
 }
 
 func (w *gatedStepper) Step() int {
-	t := w.win.acquire(w.minDone)
+	t := w.win.acquire(w.slot, w.minDone)
 	var ops int
 	if w.so != nil {
 		support := w.so.PlanSparse(w.r)
 		w.vals = sizedFor(w.vals, len(support))
 		w.model.GatherInto(w.vals, support)
 		w.so.GradSparseAt(&w.sg, w.vals, w.r)
-		for k, j := range w.sg.Indices {
-			w.model.FetchAdd(j, -w.alpha*w.sg.Values[k])
-		}
-		ops = len(support) + w.sg.NNZ()
+		ops = len(support) + scatterRuns(w.model, w.alpha, w.sg.Indices, w.sg.Values)
 	} else {
 		w.model.LoadAll(w.view)
 		w.oracle.Grad(w.g, w.view, w.r)
-		ops = len(w.view)
-		for j, gj := range w.g {
-			if gj != 0 {
-				w.model.FetchAdd(j, -w.alpha*gj)
-				ops++
-			}
-		}
+		ops = len(w.view) + applyDenseRuns(w.model, w.alpha, w.g)
 	}
 	if span := w.win.begun(t); span > w.obs.Load() {
 		for {
@@ -226,7 +285,7 @@ func (w *gatedStepper) Step() int {
 			}
 		}
 	}
-	w.win.release(t)
+	w.win.release(w.slot)
 	return ops
 }
 
@@ -347,10 +406,9 @@ func (w *batchStepper) Flush() int {
 	}
 	w.touched = w.touched[:0]
 	w.pending = 0
-	for k, j := range w.buf.Indices {
-		w.s.model.FetchAdd(j, -w.s.alpha*w.buf.Values[k])
-	}
-	return w.buf.NNZ()
+	// touched was sorted above, so buf.Indices is ascending and dense
+	// batches flush as whole coordinate runs.
+	return scatterRuns(w.s.model, w.s.alpha, w.buf.Indices, w.buf.Values)
 }
 
 // --- epoch fence ------------------------------------------------------------
@@ -367,7 +425,7 @@ type epochFence struct {
 	model *atomicfloat.Vector
 	alpha float64
 	every int
-	win   orderedWindow
+	win   stripedWindow
 	obs   atomic.Int64
 }
 

@@ -24,6 +24,10 @@ type FullConfig struct {
 	Mode          Mode
 	Strategy      Strategy // optional; overrides Mode (re-Bind-ed every epoch)
 	Epochs        int      // 0 ⇒ the Corollary-7.1 count ⌈log₂(α²Mn/√ε)⌉
+	// Layout and PinWorkers are forwarded to every epoch's Run — see
+	// Config. Each epoch allocates a fresh model in the chosen layout.
+	Layout     Layout
+	PinWorkers bool
 }
 
 // FullResult is the outcome of the real-thread Algorithm 2. Beyond the
@@ -76,6 +80,8 @@ func RunFull(cfg FullConfig) (*FullResult, error) {
 			Seed:       cfg.Seed + uint64(e)*0x9E3779B9,
 			Mode:       cfg.Mode,
 			Strategy:   cfg.Strategy,
+			Layout:     cfg.Layout,
+			PinWorkers: cfg.PinWorkers,
 			X0:         x,
 		})
 		if err != nil {

@@ -19,6 +19,7 @@ package hogwild
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -84,12 +85,74 @@ type Config struct {
 	// Stripes sets the lock-table size for Mode ShardedLock
 	// (0 ⇒ min(d, DefaultStripes)). Ignored when Strategy is set.
 	Stripes int
-	Padded  bool      // cache-line-pad the atomic vector (lock-free strategies)
-	X0      vec.Dense // nil ⇒ zeros
+	// Padded requests the cache-line-padded model layout (one aligned
+	// 64-byte line per coordinate, ~8x the memory — see
+	// atomicfloat.NewPaddedVector). Honored only below BankedAbove:
+	// above the threshold the auto-pick overrides it with the banked
+	// layout, whose memory cost is flat. Ignored when Layout is set.
+	Padded bool
+	// Layout pins the model's memory layout explicitly, overriding both
+	// Padded and the dimension-based auto-pick (LayoutAuto, the zero
+	// value, keeps them). Benchmarks use this to hold the layout fixed
+	// while varying everything else.
+	Layout Layout
+	// PinWorkers wires each worker goroutine to its own OS thread
+	// (runtime.LockOSThread) for the duration of the run. On a
+	// multi-socket or multi-core host this keeps a worker's cache and
+	// NUMA locality stable instead of migrating mid-run; throughput
+	// numbers get less noisy at the cost of scheduler flexibility. No
+	// effect on results — only on timing.
+	PinWorkers bool
+	X0         vec.Dense // nil ⇒ zeros
 	// SampleStaleness enables the staleness probe: each iteration records
 	// how many iterations were claimed between its view snapshot and its
 	// last update (an online proxy for interval contention).
 	SampleStaleness bool
+}
+
+// Layout selects the model vector's memory layout in Config.
+type Layout uint8
+
+// Model layout choices. The zero value (LayoutAuto) derives the layout
+// from Config.Padded and the dimension: padded when requested and d <
+// BankedAbove, banked when d ≥ BankedAbove, packed otherwise.
+const (
+	LayoutAuto Layout = iota
+	// LayoutPacked is the compact unaligned layout (atomicfloat.Packed).
+	LayoutPacked
+	// LayoutBanked is the cache-line-aligned compact layout
+	// (atomicfloat.Banked): same memory as packed, unit-stride banks.
+	LayoutBanked
+	// LayoutPadded is one aligned cache line per coordinate
+	// (atomicfloat.Padded, ~8x memory).
+	LayoutPadded
+)
+
+// BankedAbove is the dimension threshold of the LayoutAuto pick: at and
+// above it the model uses the banked layout regardless of Config.Padded.
+// Rationale: padding costs 64 bytes per coordinate, so a d = 65536
+// padded model (4 MiB) already overflows typical per-core L2 — past
+// that point false-sharing relief is paid for with an 8x larger working
+// set, and the aligned compact layout wins.
+const BankedAbove = 1 << 16
+
+// modelLayout resolves a Config's layout choice to an atomicfloat layout.
+func modelLayout(cfg *Config, d int) atomicfloat.Layout {
+	switch cfg.Layout {
+	case LayoutPacked:
+		return atomicfloat.Packed
+	case LayoutBanked:
+		return atomicfloat.Banked
+	case LayoutPadded:
+		return atomicfloat.Padded
+	}
+	if d >= BankedAbove {
+		return atomicfloat.Banked
+	}
+	if cfg.Padded {
+		return atomicfloat.Padded
+	}
+	return atomicfloat.Packed
 }
 
 // Result is the outcome of a run.
@@ -148,12 +211,7 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
-	var model *atomicfloat.Vector
-	if cfg.Padded {
-		model = atomicfloat.NewPaddedVector(d)
-	} else {
-		model = atomicfloat.NewVector(d)
-	}
+	model := atomicfloat.New(d, modelLayout(&cfg, d))
 	model.StoreAll(x0)
 	if err := strat.Bind(model, cfg.Alpha); err != nil {
 		return nil, err
@@ -186,6 +244,10 @@ func Run(cfg Config) (*Result, error) {
 		wg.Add(1)
 		go func(st Stepper) {
 			defer wg.Done()
+			if cfg.PinWorkers {
+				runtime.LockOSThread()
+				defer runtime.UnlockOSThread()
+			}
 			var ops int64
 			for {
 				claimed := counter.Add(1) - 1

@@ -41,6 +41,68 @@ type Stepper interface {
 	Step() int
 }
 
+// BulkApplier is an optional Strategy capability: the strategy can apply
+// a dense gradient to the shared model in amortized coordinate runs
+// instead of d independent per-coordinate calls. At large d this is the
+// difference between paying the index-shift/bounds/lock overhead once
+// per cache line and paying it once per coordinate.
+//
+// ApplyDense subtracts alpha·g from the model for every non-zero g[j],
+// in ascending coordinate order with exactly the per-coordinate float
+// arithmetic of the scalar path — callers may rely on bit-identical
+// results. The return value is the number of coordinate writes issued
+// (the write half of the Step ops count). Bind must have been called
+// first.
+type BulkApplier interface {
+	ApplyDense(g []float64) int
+}
+
+// applyDenseRuns is the lock-free bulk dense-apply kernel shared by the
+// strategies: it walks g for maximal runs of non-zero coordinates and
+// issues one FetchAddScaledRun per run, scaling by -alpha in the fused
+// op (no scratch staging, no extra memory traversal). Skipping zero
+// coordinates keeps the op count and the IEEE bit patterns identical to
+// the scalar FetchAdd loop (adding a signed zero would flip a stored -0
+// to +0), so golden trajectories are preserved exactly. Returns the
+// number of coordinate writes.
+func applyDenseRuns(m *atomicfloat.Vector, alpha float64, g []float64) int {
+	writes := 0
+	n := len(g)
+	for j := 0; j < n; {
+		if g[j] == 0 {
+			j++
+			continue
+		}
+		start := j
+		for j < n && g[j] != 0 {
+			j++
+		}
+		m.FetchAddScaledRun(start, g[start:j], -alpha)
+		writes += j - start
+	}
+	return writes
+}
+
+// scatterRuns is the sparse bulk-apply kernel: it fetch&adds
+// -alpha·vals[k] at idx[k] for every k, batching maximal runs of
+// consecutive indices into single FetchAddScaledRun calls. idx must be
+// sorted ascending (vec.Sparse guarantees this). Isolated indices
+// degenerate to runs of length one, so the apply order and arithmetic
+// match the scalar scatter loop bit for bit. Returns the number of
+// coordinate writes (= len(idx)).
+func scatterRuns(m *atomicfloat.Vector, alpha float64, idx []int, vals []float64) int {
+	n := len(idx)
+	for k := 0; k < n; {
+		start := k
+		j0 := idx[k]
+		for k < n && idx[k] == j0+(k-start) {
+			k++
+		}
+		m.FetchAddScaledRun(j0, vals[start:k], -alpha)
+	}
+	return n
+}
+
 // StrategyFor returns the built-in strategy for a legacy Mode value.
 // ShardedLock maps to a striped-lock table with min(d, DefaultStripes)
 // stripes — per-coordinate locking for the model sizes the experiments
@@ -95,6 +157,12 @@ func (s *lockFree) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Stepper, 
 	}, nil
 }
 
+// ApplyDense implements BulkApplier: runs of non-zero gradient
+// coordinates become single FetchAddScaledRun calls.
+func (s *lockFree) ApplyDense(g []float64) int {
+	return applyDenseRuns(s.model, s.alpha, g)
+}
+
 type lockFreeStepper struct {
 	s      *lockFree
 	oracle grad.Oracle
@@ -107,14 +175,7 @@ func (w *lockFreeStepper) Step() int {
 	m := w.s.model
 	m.LoadAll(w.view)
 	w.oracle.Grad(w.g, w.view, w.r)
-	ops := len(w.view)
-	for j, gj := range w.g {
-		if gj != 0 {
-			m.FetchAdd(j, -w.s.alpha*gj)
-			ops++
-		}
-	}
-	return ops
+	return len(w.view) + applyDenseRuns(m, w.s.alpha, w.g)
 }
 
 // --- coarse lock -----------------------------------------------------------
@@ -159,13 +220,9 @@ func (w *coarseLockStepper) Step() int {
 	s.mu.Lock()
 	s.model.LoadAll(w.view)
 	w.oracle.Grad(w.g, w.view, w.r)
-	ops := len(w.view)
-	for j, gj := range w.g {
-		if gj != 0 {
-			s.model.Store(j, s.model.Load(j)-s.alpha*gj)
-			ops++
-		}
-	}
+	// Under the run-wide mutex fetch&add and load-store are the same
+	// serial read-modify-write, so the bulk kernel applies verbatim.
+	ops := len(w.view) + applyDenseRuns(s.model, s.alpha, w.g)
 	s.mu.Unlock()
 	return ops
 }
@@ -210,6 +267,54 @@ func (s *stripedLock) NewStepper(_ int, oracle grad.Oracle, r *rng.Rand) (Steppe
 	}, nil
 }
 
+// loadView fills view with a stripe-grouped locked read: each stripe
+// lock is taken once for all d/n coordinates it guards instead of once
+// per coordinate. The view remains the usual cross-coordinate
+// inconsistent snapshot (only per-coordinate reads are consistent), so
+// grouping by stripe instead of scanning in index order changes nothing
+// a caller may observe — each coordinate is still read exactly once.
+func (s *stripedLock) loadView(view []float64) {
+	d := len(view)
+	for st := 0; st < s.n && st < d; st++ {
+		mu := &s.stripes[st]
+		mu.Lock()
+		for j := st; j < d; j += s.n {
+			view[j] = s.model.Load(j)
+		}
+		mu.Unlock()
+	}
+}
+
+// ApplyDense implements BulkApplier for the striped table: the write
+// pass visits each stripe once, holding its lock across all the
+// stripe's non-zero gradient coordinates — O(min(n,d)) lock acquisitions
+// per iteration instead of O(nnz). Per-coordinate arithmetic is the
+// scalar path's read-modify-write, so single-worker trajectories keep
+// their exact bits (coordinate updates commute across the reordering
+// because each touches only its own register).
+func (s *stripedLock) ApplyDense(g []float64) int {
+	writes := 0
+	d := len(g)
+	for st := 0; st < s.n && st < d; st++ {
+		locked := false
+		for j := st; j < d; j += s.n {
+			if g[j] == 0 {
+				continue
+			}
+			if !locked {
+				s.stripes[st].Lock()
+				locked = true
+			}
+			s.model.Store(j, s.model.Load(j)-s.alpha*g[j])
+			writes++
+		}
+		if locked {
+			s.stripes[st].Unlock()
+		}
+	}
+	return writes
+}
+
 type stripedLockStepper struct {
 	s      *stripedLock
 	oracle grad.Oracle
@@ -220,25 +325,9 @@ type stripedLockStepper struct {
 
 func (w *stripedLockStepper) Step() int {
 	s := w.s
-	for j := range w.view {
-		mu := &s.stripes[j%s.n]
-		mu.Lock()
-		w.view[j] = s.model.Load(j)
-		mu.Unlock()
-	}
+	s.loadView(w.view)
 	w.oracle.Grad(w.g, w.view, w.r)
-	ops := len(w.view)
-	for j, gj := range w.g {
-		if gj == 0 {
-			continue
-		}
-		mu := &s.stripes[j%s.n]
-		mu.Lock()
-		s.model.Store(j, s.model.Load(j)-s.alpha*gj)
-		mu.Unlock()
-		ops++
-	}
-	return ops
+	return len(w.view) + s.ApplyDense(w.g)
 }
 
 // --- sparse lock-free ------------------------------------------------------
@@ -288,10 +377,10 @@ func (w *sparseStepper) Step() int {
 	w.vals = sizedFor(w.vals, len(support))
 	s.model.GatherInto(w.vals, support)
 	w.oracle.GradSparseAt(&w.g, w.vals, w.r)
-	for k, j := range w.g.Indices {
-		s.model.FetchAdd(j, -s.alpha*w.g.Values[k])
-	}
-	return len(support) + w.g.NNZ()
+	// vec.Sparse keeps indices strictly sorted, so consecutive support
+	// coordinates (common under contiguous-block sampling) scatter as
+	// whole runs.
+	return len(support) + scatterRuns(s.model, s.alpha, w.g.Indices, w.g.Values)
 }
 
 // sizedFor returns buf resized to length n, reusing its capacity when

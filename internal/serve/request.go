@@ -74,6 +74,11 @@ type SweepRequest struct {
 	// Runtime is "machine", "hogwild" or "both" (default "machine").
 	// Only machine sweeps are deterministic and therefore cacheable.
 	Runtime string `json:"runtime,omitempty"`
+	// Pin pins hogwild worker goroutines to OS threads
+	// (sweep.Spec.PinWorkers). It affects timing only, never results,
+	// so it is deliberately excluded from the cache key: a pinned and an
+	// unpinned request for the same machine grid share cached results.
+	Pin bool `json:"pin_workers,omitempty"`
 }
 
 // ErrBadRequest reports an invalid sweep request.
@@ -180,6 +185,7 @@ func (q SweepRequest) Specs() ([]sweep.Spec, error) {
 			Iters:      q.Iters,
 			Seed:       *q.Seed,
 			Adversary:  *q.Adversary,
+			Pin:        q.Pin,
 		})
 		if err != nil {
 			return nil, err

@@ -99,18 +99,38 @@ func RunContext(ctx context.Context, s Spec) ([]CellResult, error) {
 	return results, nil
 }
 
-// cellWeight is the number of pool slots a cell occupies: the goroutines
-// it keeps busy. Simulator cells are sequential; hogwild cells run one
-// goroutine per worker.
+// cellWeight is the number of pool slots a cell occupies. Simulator
+// cells are sequential; hogwild cells run one goroutine per worker,
+// scaled by the dimension class — a large-dimension cell is memory-bound
+// across the whole socket, not just on its own cores, so co-scheduling
+// it with a dozen small cells would let the siblings pollute the very
+// cache/bandwidth behavior the cell is measuring. Weighting by
+// Workers × dimClass makes a d = 10⁶ cell fill the pool and run alone.
 func cellWeight(c Cell, capacity int) int {
 	w := 1
 	if c.runtime == Hogwild {
-		w = c.Workers
+		w = c.Workers * dimClass(c.Dim)
 	}
 	if w > capacity {
 		w = capacity
 	}
 	return w
+}
+
+// dimClass buckets a cell's model dimension into a pool-slot multiplier:
+// 1 below the banked-layout threshold (the model fits in-cache; cells
+// share fine), 2 up to a quarter-million coordinates (last-level-cache
+// sized), 4 beyond (DRAM-bandwidth bound — the cell wants the machine).
+// Dim 0 means "oracle picks its own (small) size" and stays class 1.
+func dimClass(d int) int {
+	switch {
+	case d >= 1<<18:
+		return 4
+	case d >= hogwild.BankedAbove:
+		return 2
+	default:
+		return 1
+	}
 }
 
 // weightedGate is a FIFO weighted-capacity semaphore.
@@ -183,6 +203,7 @@ func runCell(s *Spec, c Cell) CellResult {
 			Seed:            c.Seed,
 			Strategy:        strat,
 			Padded:          c.strategy.Padded,
+			PinWorkers:      s.PinWorkers,
 			X0:              x0,
 			SampleStaleness: s.Probe,
 		})

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"asyncsgd/internal/grad"
@@ -432,5 +433,85 @@ func TestRunContextUncanceled(t *testing.T) {
 	}
 	if len(res) != 1 || res[0].Err != "" {
 		t.Fatalf("unexpected results %+v", res)
+	}
+}
+
+// TestCellWeightScalesWithDimClass pins the scheduling weight formula:
+// hogwild cells occupy Workers × dimClass slots so a large-dimension
+// cell cannot co-schedule with a crowd of small cells; machine cells
+// stay sequential regardless of dimension.
+func TestCellWeightScalesWithDimClass(t *testing.T) {
+	cases := []struct {
+		name     string
+		runtime  Runtime
+		workers  int
+		dim      int
+		capacity int
+		want     int
+	}{
+		{"machine-ignores-dim", Machine, 4, 1 << 20, 16, 1},
+		{"hogwild-small-dim", Hogwild, 2, 8, 16, 2},
+		{"hogwild-dim-zero", Hogwild, 3, 0, 16, 3},
+		{"hogwild-llc-class", Hogwild, 2, hogwild.BankedAbove, 16, 4},
+		{"hogwild-dram-class", Hogwild, 2, 1 << 18, 16, 8},
+		{"hogwild-million-dim", Hogwild, 2, 1 << 20, 16, 8},
+		{"capped-at-capacity", Hogwild, 4, 1 << 20, 8, 8},
+	}
+	for _, tc := range cases {
+		c := Cell{Workers: tc.workers, Dim: tc.dim, runtime: tc.runtime}
+		if got := cellWeight(c, tc.capacity); got != tc.want {
+			t.Errorf("%s: cellWeight(workers=%d, dim=%d, cap=%d) = %d, want %d",
+				tc.name, tc.workers, tc.dim, tc.capacity, got, tc.want)
+		}
+	}
+}
+
+// TestLargeDimCellsDoNotCoSchedule: with pool capacity 2, two
+// single-worker hogwild cells at the banked-layout threshold each weigh
+// dimClass = 2 = capacity, so the FIFO gate must run them strictly one
+// at a time. Overlap is observed through an in-flight counter spanning
+// each cell's Make → OnResult interval (the gate releases a cell's
+// slots only after OnResult returns, so disjoint intervals are exactly
+// what exclusive scheduling guarantees). The assertion cannot flake: it
+// fails only if two cells actually overlapped.
+func TestLargeDimCellsDoNotCoSchedule(t *testing.T) {
+	var inflight, maxSeen atomic.Int32
+	bigOracle := Oracle{
+		Name: "big-iso-quad",
+		Make: func(d int, _ *rng.Rand) (grad.Oracle, vec.Dense, error) {
+			if cur := inflight.Add(1); cur > maxSeen.Load() {
+				maxSeen.Store(cur)
+			}
+			q, err := grad.NewIsoQuadratic(d, 1, 0, 3, nil)
+			if err != nil {
+				return nil, nil, err
+			}
+			return q, vec.Constant(d, 0.5), nil
+		},
+	}
+	s := Spec{
+		Seed:          7,
+		Runtimes:      []Runtime{Hogwild},
+		Oracles:       []Oracle{bigOracle},
+		Strategies:    []Strategy{LockFree()},
+		Workers:       []int{1},
+		Dims:          []int{hogwild.BankedAbove},
+		Alphas:        []float64{0.001},
+		Replicates:    2,
+		Iters:         2,
+		MaxConcurrent: 2,
+		OnResult:      func(CellResult) { inflight.Add(-1) },
+	}
+	res, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res {
+		if r.Err != "" {
+			t.Fatalf("cell %d failed: %s", r.Cell.Index, r.Err)
+		}
+	}
+	if m := maxSeen.Load(); m != 1 {
+		t.Fatalf("large-dim cells overlapped: max in-flight = %d, want 1", m)
 	}
 }
