@@ -364,6 +364,16 @@ type (
 	// SweepPointStat aggregates a grid point's seed replicates (Welford
 	// mean/variance of loss and dist², worst staleness).
 	SweepPointStat = sweep.PointStat
+	// SweepTelemetry is one live progress snapshot of a running hogwild
+	// cell, delivered through SweepSpec.OnTelemetry: the cell's
+	// coordinates plus its staleness gauge, contention counters and
+	// iteration progress at sampling time. Wall-clock-dependent — never
+	// part of a result document.
+	SweepTelemetry = sweep.TelemetrySample
+	// ParallelTelemetry is the raw hogwild-runtime snapshot SweepTelemetry
+	// is built from (ParallelConfig.OnTelemetry when driving the runtime
+	// directly).
+	ParallelTelemetry = hogwild.Telemetry
 )
 
 // Sweep runtimes.
@@ -463,6 +473,15 @@ func Serve(ctx context.Context, addr string, cfg ServeConfig) error {
 // (may be nil). It is the exact pipeline an asgdserve job runs.
 func RunSweepRequest(ctx context.Context, req SweepRequest, onResult func(SweepCellResult)) (*SweepReport, error) {
 	return serve.RunRequest(ctx, req, onResult)
+}
+
+// RunSweepRequestStream is RunSweepRequest with a live telemetry tap:
+// when onTelemetry is non-nil and req.TelemetryMS > 0, running hogwild
+// cells are sampled at that period and the snapshots stream through
+// onTelemetry, serialized with onResult. Telemetry never changes the
+// returned report.
+func RunSweepRequestStream(ctx context.Context, req SweepRequest, onResult func(SweepCellResult), onTelemetry func(SweepTelemetry)) (*SweepReport, error) {
+	return serve.RunRequestStream(ctx, req, onResult, onTelemetry)
 }
 
 // --- experiments ------------------------------------------------------------

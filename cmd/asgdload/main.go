@@ -1,0 +1,535 @@
+// Command asgdload is the load harness for the asgdserve job server: it
+// drives N concurrent submitters and M streaming subscribers against a
+// live server (an external one via -addr, or an in-process server it
+// boots itself on a loopback port) and checks the service-level
+// objectives the serve layer pins:
+//
+//   - submit latency: p50 and p99 of POST /v1/sweeps round trips must
+//     stay under -slo-p50-ms / -slo-p99-ms — the submit path only
+//     validates and enqueues, so it must stay fast even while the
+//     executor is saturated;
+//   - back-pressure: the 429 rate across submit attempts must stay
+//     under -slo-max-429 (submitters retry with backoff, so a 429 is
+//     load shed, not a lost job);
+//   - FIFO fairness: the server's completion order, restricted to the
+//     harness's accepted jobs, must equal their submission order
+//     (numeric job-id order) — the bounded-queue + single-executor
+//     contract;
+//   - stream integrity: every subscriber must see zero event-order
+//     violations (cell/telemetry events strictly before one terminal
+//     aggregate/error event), and a post-hoc replay of each streamed
+//     job must be byte-identical to the live stream.
+//
+// The harness writes an asgdload/v1 JSON report (stdout, or -json PATH)
+// and exits 1 when any SLO fails, so CI can run it as a gate.
+//
+// Usage:
+//
+//	asgdload                                  # in-process server, defaults
+//	asgdload -addr localhost:8080 -jobs 64    # against a running asgdserve
+//	asgdload -runtime hogwild -telemetry-ms 20
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asyncsgd/internal/serve"
+	"asyncsgd/internal/version"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "asgdload:", err)
+		os.Exit(1)
+	}
+}
+
+// errSLO marks an SLO failure (report already written).
+var errSLO = errors.New("SLO violation")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("asgdload", flag.ContinueOnError)
+	addr := fs.String("addr", "", "server address (empty: boot an in-process server)")
+	submitters := fs.Int("submitters", 4, "concurrent submitter workers")
+	jobs := fs.Int("jobs", 24, "total jobs to submit")
+	subscribers := fs.Int("subscribers", 2, "concurrent event-stream subscriber workers")
+	iters := fs.Int("iters", 60, "per-cell iteration budget of each submitted job")
+	runtimeLeg := fs.String("runtime", "machine", "sweep runtime per job: machine, hogwild or both")
+	telemetryMS := fs.Int("telemetry-ms", 0, "request live telemetry events at this period (hogwild cells only)")
+	queue := fs.Int("queue", 0, "in-process server queue depth (0: jobs count, i.e. no 429s expected)")
+	seed := fs.Uint64("seed", 97, "base seed; job i uses seed+i so no two jobs share a cache key")
+	sloP50 := fs.Float64("slo-p50-ms", 250, "submit-latency p50 SLO in milliseconds")
+	sloP99 := fs.Float64("slo-p99-ms", 2000, "submit-latency p99 SLO in milliseconds")
+	slo429 := fs.Float64("slo-max-429", 0.5, "maximum tolerated 429 rate across submit attempts")
+	jsonPath := fs.String("json", "", "write the asgdload/v1 report here (default stdout)")
+	showVersion := fs.Bool("version", false, "print version and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), `asgdload — load harness and SLO gate for the asgdserve job server.
+Drives concurrent submitters and streaming subscribers, then checks
+submit-latency percentiles, 429 rate, FIFO completion fairness and
+event-stream integrity. Exits 1 when any SLO fails.
+
+Flags:
+`)
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *showVersion {
+		fmt.Fprintln(stdout, version.String("asgdload"))
+		return nil
+	}
+	if *jobs < 1 || *submitters < 1 || *subscribers < 1 || *iters < 1 {
+		return fmt.Errorf("-jobs, -submitters, -subscribers and -iters must be ≥ 1")
+	}
+
+	base := *addr
+	var shutdown func()
+	if base == "" {
+		depth := *queue
+		if depth <= 0 {
+			depth = *jobs
+		}
+		var err error
+		base, shutdown, err = bootLocalServer(depth)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+	}
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+
+	rep, err := drive(base, harnessConfig{
+		Submitters:  *submitters,
+		Jobs:        *jobs,
+		Subscribers: *subscribers,
+		Iters:       *iters,
+		Runtime:     *runtimeLeg,
+		TelemetryMS: *telemetryMS,
+		Seed:        *seed,
+	})
+	if err != nil {
+		return err
+	}
+	rep.SLOs = []slo{
+		{Name: "submit_p50_ms", Limit: *sloP50, Value: rep.Submits.P50MS, OK: rep.Submits.P50MS <= *sloP50},
+		{Name: "submit_p99_ms", Limit: *sloP99, Value: rep.Submits.P99MS, OK: rep.Submits.P99MS <= *sloP99},
+		{Name: "rate_429", Limit: *slo429, Value: rep.Rate429, OK: rep.Rate429 <= *slo429},
+		{Name: "fifo_fairness", Limit: 1, Value: boolVal(rep.FIFOOK), OK: rep.FIFOOK},
+		{Name: "stream_order_violations", Limit: 0, Value: float64(rep.Streams.OrderViolations), OK: rep.Streams.OrderViolations == 0},
+		{Name: "replay_mismatches", Limit: 0, Value: float64(rep.Streams.ReplayMismatches), OK: rep.Streams.ReplayMismatches == 0},
+	}
+	rep.OK = true
+	for _, s := range rep.SLOs {
+		rep.OK = rep.OK && s.OK
+	}
+
+	out := stdout
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if !rep.OK {
+		for _, s := range rep.SLOs {
+			if !s.OK {
+				fmt.Fprintf(os.Stderr, "asgdload: SLO %s failed: %g (limit %g)\n", s.Name, s.Value, s.Limit)
+			}
+		}
+		return errSLO
+	}
+	return nil
+}
+
+func boolVal(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// bootLocalServer starts an in-process asgdserve on a loopback port and
+// returns its address and a shutdown func.
+func bootLocalServer(queueDepth int) (addr string, shutdown func(), err error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", nil, err
+	}
+	s := serve.New(serve.Config{QueueDepth: queueDepth})
+	hs := &http.Server{Handler: s.Handler()}
+	go func() { _ = hs.Serve(ln) }()
+	shutdown = func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = hs.Shutdown(ctx)
+		s.Close()
+	}
+	return ln.Addr().String(), shutdown, nil
+}
+
+type harnessConfig struct {
+	Submitters  int    `json:"submitters"`
+	Jobs        int    `json:"jobs"`
+	Subscribers int    `json:"subscribers"`
+	Iters       int    `json:"iters"`
+	Runtime     string `json:"runtime"`
+	TelemetryMS int    `json:"telemetry_ms,omitempty"`
+	Seed        uint64 `json:"seed"`
+}
+
+type submitStats struct {
+	Attempts    int     `json:"attempts"`
+	Accepted    int     `json:"accepted"`
+	Rejected429 int     `json:"rejected_429"`
+	Failed      int     `json:"failed"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+type streamStats struct {
+	JobsStreamed     int `json:"jobs_streamed"`
+	Events           int `json:"events"`
+	CellEvents       int `json:"cell_events"`
+	TelemetryEvents  int `json:"telemetry_events"`
+	OrderViolations  int `json:"order_violations"`
+	ReplayMismatches int `json:"replay_mismatches"`
+}
+
+type slo struct {
+	Name  string  `json:"name"`
+	Limit float64 `json:"limit"`
+	Value float64 `json:"value"`
+	OK    bool    `json:"ok"`
+}
+
+type report struct {
+	Schema  string        `json:"schema"`
+	Version string        `json:"version"`
+	Addr    string        `json:"addr"`
+	Config  harnessConfig `json:"config"`
+	Seconds float64       `json:"seconds"`
+	Submits submitStats   `json:"submits"`
+	Rate429 float64       `json:"rate_429"`
+	FIFOOK  bool          `json:"fifo_ok"`
+	Streams streamStats   `json:"streams"`
+	SLOs    []slo         `json:"slos"`
+	OK      bool          `json:"ok"`
+}
+
+// drive runs the load: submitters POST jobs (retrying 429s with
+// backoff), subscribers stream each accepted job's events to its
+// terminal event and then replay-check it, and the epilogue fetches
+// /v1/jobs to verify FIFO completion order.
+func drive(base string, cfg harnessConfig) (*report, error) {
+	client := &http.Client{Timeout: 5 * time.Minute}
+	start := time.Now()
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // accepted-submit round trips, ms
+		accepted  []string  // job ids in acceptance order
+		attempts  atomic.Int64
+		n429      atomic.Int64
+		nFailed   atomic.Int64
+	)
+	ids := make(chan string, cfg.Jobs)
+	work := make(chan int)
+
+	var subWG sync.WaitGroup
+	var stats streamStats
+	var statsMu sync.Mutex
+	for m := 0; m < cfg.Subscribers; m++ {
+		subWG.Add(1)
+		go func() {
+			defer subWG.Done()
+			for id := range ids {
+				st, err := streamJob(client, base, id)
+				statsMu.Lock()
+				if err != nil {
+					// A failed stream is an order violation: the
+					// subscriber never saw the terminal event.
+					stats.OrderViolations++
+				} else {
+					stats.JobsStreamed++
+					stats.Events += st.Events
+					stats.CellEvents += st.CellEvents
+					stats.TelemetryEvents += st.TelemetryEvents
+					stats.OrderViolations += st.OrderViolations
+					stats.ReplayMismatches += st.ReplayMismatches
+				}
+				statsMu.Unlock()
+			}
+		}()
+	}
+
+	var pubWG sync.WaitGroup
+	for w := 0; w < cfg.Submitters; w++ {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			for i := range work {
+				seed := cfg.Seed + uint64(i)
+				body, _ := json.Marshal(map[string]any{
+					"taus":         []int{1},
+					"workers":      []int{2},
+					"sparsity":     []float64{0.3},
+					"dim":          8,
+					"replicates":   1,
+					"iters":        cfg.Iters,
+					"seed":         seed,
+					"runtime":      cfg.Runtime,
+					"telemetry_ms": cfg.TelemetryMS,
+				})
+				id, ms, tries, got429s, err := submitWithRetry(client, base, body)
+				attempts.Add(int64(tries))
+				n429.Add(int64(got429s))
+				if err != nil {
+					nFailed.Add(1)
+					continue
+				}
+				mu.Lock()
+				latencies = append(latencies, ms)
+				accepted = append(accepted, id)
+				mu.Unlock()
+				ids <- id
+			}
+		}()
+	}
+	for i := 0; i < cfg.Jobs; i++ {
+		work <- i
+	}
+	close(work)
+	pubWG.Wait()
+	close(ids)
+	subWG.Wait()
+
+	rep := &report{
+		Schema:  "asgdload/v1",
+		Version: version.Version,
+		Addr:    base,
+		Config:  cfg,
+		Seconds: time.Since(start).Seconds(),
+		Streams: stats,
+	}
+	rep.Submits = submitStats{
+		Attempts:    int(attempts.Load()),
+		Accepted:    len(accepted),
+		Rejected429: int(n429.Load()),
+		Failed:      int(nFailed.Load()),
+		P50MS:       percentile(latencies, 0.50),
+		P99MS:       percentile(latencies, 0.99),
+	}
+	if rep.Submits.Attempts > 0 {
+		rep.Rate429 = float64(rep.Submits.Rejected429) / float64(rep.Submits.Attempts)
+	}
+	fifoOK, err := checkFIFO(client, base, accepted)
+	if err != nil {
+		return nil, fmt.Errorf("fetching /v1/jobs for the fairness check: %w", err)
+	}
+	rep.FIFOOK = fifoOK && rep.Submits.Failed == 0
+	return rep, nil
+}
+
+// submitWithRetry POSTs one sweep, retrying 429s with linear backoff.
+// It returns the job id, the accepted attempt's round trip in ms, the
+// number of attempts made and how many of them were shed with 429.
+func submitWithRetry(client *http.Client, base string, body []byte) (id string, ms float64, tries, got429s int, err error) {
+	for {
+		tries++
+		t0 := time.Now()
+		resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", 0, tries, got429s, err
+		}
+		rt := time.Since(t0)
+		payload, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusAccepted:
+			var st struct {
+				ID string `json:"id"`
+			}
+			if err := json.Unmarshal(payload, &st); err != nil {
+				return "", 0, tries, got429s, err
+			}
+			return st.ID, float64(rt.Microseconds()) / 1000, tries, got429s, nil
+		case http.StatusTooManyRequests:
+			got429s++
+			if got429s > 1000 {
+				return "", 0, tries, got429s, fmt.Errorf("giving up after %d 429s", got429s)
+			}
+			time.Sleep(time.Duration(min(got429s, 20)) * 5 * time.Millisecond)
+		default:
+			return "", 0, tries, got429s, fmt.Errorf("submit: %s: %s", resp.Status, payload)
+		}
+	}
+}
+
+// streamJob subscribes to one job's NDJSON event stream, validates the
+// event ordering contract (any number of cell/telemetry events, then
+// exactly one terminal aggregate or error event, then EOF), and replays
+// the finished stream to confirm late subscribers get identical bytes.
+func streamJob(client *http.Client, base, id string) (streamStats, error) {
+	var st streamStats
+	live, err := fetchStream(client, base, id)
+	if err != nil {
+		return st, err
+	}
+	terminalSeen := false
+	for _, line := range splitLines(live) {
+		var ev struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &ev); err != nil {
+			st.OrderViolations++
+			continue
+		}
+		st.Events++
+		switch ev.Type {
+		case "cell":
+			st.CellEvents++
+			if terminalSeen {
+				st.OrderViolations++
+			}
+		case "telemetry":
+			st.TelemetryEvents++
+			if terminalSeen {
+				st.OrderViolations++
+			}
+		case "aggregate", "error":
+			if terminalSeen {
+				st.OrderViolations++
+			}
+			terminalSeen = true
+		default:
+			st.OrderViolations++
+		}
+	}
+	if !terminalSeen {
+		st.OrderViolations++
+	}
+	// The job is terminal now, so a replay must return the whole stream
+	// — and byte-identically: the event buffer is immutable once the
+	// terminal event lands.
+	replay, err := fetchStream(client, base, id)
+	if err != nil {
+		return st, err
+	}
+	if !bytes.Equal(live, replay) {
+		st.ReplayMismatches++
+	}
+	return st, nil
+}
+
+func fetchStream(client *http.Client, base, id string) ([]byte, error) {
+	resp, err := client.Get(base + "/v1/sweeps/" + id + "/events")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("events: %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+func splitLines(b []byte) [][]byte {
+	var lines [][]byte
+	for _, l := range bytes.Split(b, []byte("\n")) {
+		if len(bytes.TrimSpace(l)) > 0 {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// checkFIFO fetches the server's completion order and verifies that,
+// restricted to the harness's accepted jobs, completion order equals
+// submission order: numeric job ids (assigned in acceptance order) must
+// be strictly increasing. Jobs submitted by other clients interleave
+// freely; jobs the harness never submitted are ignored.
+func checkFIFO(client *http.Client, base string, accepted []string) (bool, error) {
+	resp, err := client.Get(base + "/v1/jobs")
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Finished []string `json:"finished"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		return false, err
+	}
+	ours := make(map[string]bool, len(accepted))
+	for _, id := range accepted {
+		ours[id] = true
+	}
+	prev := -1
+	seen := 0
+	for _, id := range doc.Finished {
+		if !ours[id] {
+			continue
+		}
+		seen++
+		n, err := strconv.Atoi(strings.TrimPrefix(id, "j"))
+		if err != nil {
+			return false, nil
+		}
+		if n <= prev {
+			return false, nil
+		}
+		prev = n
+	}
+	// Every accepted job must appear exactly once (History pruning would
+	// hide completions; the harness assumes the default History bound
+	// exceeds -jobs).
+	return seen == len(accepted), nil
+}
+
+// percentile returns the q-quantile of xs (nearest-rank), NaN when
+// empty.
+func percentile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(math.Ceil(q*float64(len(s)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}

@@ -14,9 +14,11 @@
 //	asgdserve                       # listen on :8080
 //	asgdserve -addr 127.0.0.1:9090 -queue 32 -cache 64
 //
-// API (see DESIGN.md §6 for the request and document schemas):
+// API (see DESIGN.md §6 for the request and document schemas, §7 for
+// the metrics and telemetry contract):
 //
 //	GET    /healthz                 liveness + queue gauges
+//	GET    /metrics                 Prometheus text-format metrics
 //	GET    /v1/jobs                 all retained jobs, submission order
 //	POST   /v1/sweeps               submit a sweep spec → 202 + job id
 //	GET    /v1/sweeps/{id}          job status
@@ -66,7 +68,8 @@ func run(args []string) error {
 		fmt.Fprintf(fs.Output(), `asgdserve — sweep-as-a-service job server for the asyncsgd scenario-sweep
 engine. POST sweep specs to /v1/sweeps, stream per-cell results from
 /v1/sweeps/{id}/events, fetch the asgdbench/v2 aggregate from
-/v1/sweeps/{id}/result. See DESIGN.md §6 for the JSON schemas.
+/v1/sweeps/{id}/result, scrape Prometheus metrics from /metrics. See
+DESIGN.md §6 for the JSON schemas and §7 for the observability contract.
 
 Flags:
 `)
@@ -76,7 +79,9 @@ Examples:
   asgdserve
   asgdserve -addr 127.0.0.1:9090 -queue 32
   curl -s localhost:8080/healthz
+  curl -s localhost:8080/metrics
   curl -s -X POST localhost:8080/v1/sweeps -d '{}'
+  curl -s -X POST localhost:8080/v1/sweeps -d '{"runtime":"hogwild","telemetry_ms":50}'
   curl -sN localhost:8080/v1/sweeps/j1/events
 `)
 	}

@@ -108,6 +108,54 @@ type Config struct {
 	// how many iterations were claimed between its view snapshot and its
 	// last update (an online proxy for interval contention).
 	SampleStaleness bool
+	// OnTelemetry, when non-nil, receives periodic snapshots of the
+	// running meters — completed iterations, shared coordinate ops, the
+	// staleness gauge — every TelemetryEvery, plus one final snapshot
+	// (Done=true) after the workers exit. It is called from a single
+	// sampler goroutine, never concurrently with itself, and must not
+	// block for long: the workers keep running while it executes, but the
+	// sampling cadence slips behind a slow callback. Enabling telemetry
+	// adds one uncontended atomic store per iteration per worker and
+	// never changes results.
+	OnTelemetry func(Telemetry)
+	// TelemetryEvery is the sampling period for OnTelemetry
+	// (0 ⇒ DefaultTelemetryEvery).
+	TelemetryEvery time.Duration
+}
+
+// DefaultTelemetryEvery is the sampling period used when Config.OnTelemetry
+// is set without an explicit Config.TelemetryEvery.
+const DefaultTelemetryEvery = 50 * time.Millisecond
+
+// Telemetry is one point-in-time snapshot of a running Run, delivered
+// through Config.OnTelemetry. Iters and CoordOps are monotone across the
+// samples of one run; MaxStaleness is the same gauge Result.MaxStaleness
+// reports (the exact StalenessBounded gauge for gated strategies, the
+// probe max under SampleStaleness, −1 when the run measures neither).
+// Every field is wall-clock-dependent: two runs of the same seed produce
+// identical Results but never identical telemetry streams.
+type Telemetry struct {
+	// Elapsed is the wall-clock time since the workers launched.
+	Elapsed time.Duration
+	// Iters is the number of iterations that have completed their updates.
+	Iters int
+	// CoordOps is the shared model-coordinate traffic so far.
+	CoordOps int64
+	// MaxStaleness is the staleness gauge at sampling time (−1 when
+	// unmeasured).
+	MaxStaleness int
+	// AvgStaleness is the probe mean so far (0 unless SampleStaleness).
+	AvgStaleness float64
+	// Done marks the final snapshot, taken after every worker has exited
+	// (its Iters and CoordOps match the run's Result exactly).
+	Done bool
+}
+
+// progressSlot is one worker's live ops counter, cache-line padded so
+// concurrent per-iteration stores by different workers never false-share.
+type progressSlot struct {
+	ops atomic.Int64
+	_   [56]byte
 }
 
 // Layout selects the model vector's memory layout in Config.
@@ -238,11 +286,31 @@ func Run(cfg Config) (*Result, error) {
 	)
 	total := int64(cfg.TotalIters)
 
+	// With telemetry on, each worker publishes its cumulative ops into its
+	// own padded slot every iteration (instead of one shared add at exit),
+	// so the sampler can read live totals without contending with the hot
+	// path; coordOps then stays zero until the run-end fold below.
+	var progress []progressSlot
+	if cfg.OnTelemetry != nil {
+		progress = make([]progressSlot, cfg.Workers)
+	}
+	sumProgress := func() int64 {
+		var s int64
+		for i := range progress {
+			s += progress[i].ops.Load()
+		}
+		return s
+	}
+
 	var wg sync.WaitGroup
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func(st Stepper) {
+		var slot *atomic.Int64
+		if progress != nil {
+			slot = &progress[w].ops
+		}
+		go func(st Stepper, slot *atomic.Int64) {
 			defer wg.Done()
 			if cfg.PinWorkers {
 				runtime.LockOSThread()
@@ -257,11 +325,18 @@ func Run(cfg Config) (*Result, error) {
 					if f, ok := st.(Flusher); ok {
 						ops += int64(f.Flush())
 					}
-					coordOps.Add(ops)
+					if slot != nil {
+						slot.Store(ops)
+					} else {
+						coordOps.Add(ops)
+					}
 					return
 				}
 				ops += int64(st.Step())
 				done.Add(1)
+				if slot != nil {
+					slot.Store(ops)
+				}
 				if cfg.SampleStaleness {
 					// Claims past the budget are workers exiting, not SGD
 					// iterations; capping at the budget keeps the probe a
@@ -284,10 +359,59 @@ func Run(cfg Config) (*Result, error) {
 					}
 				}
 			}
-		}(steppers[w])
+		}(steppers[w], slot)
 	}
+
+	// The sampler owns every OnTelemetry call: periodic snapshots while
+	// the workers run, one final Done snapshot after they exit — so the
+	// callback is never invoked concurrently with itself.
+	sample := func(final bool) Telemetry {
+		tel := Telemetry{
+			Elapsed:      time.Since(start),
+			Iters:        int(done.Load()),
+			CoordOps:     coordOps.Load() + sumProgress(),
+			MaxStaleness: -1,
+			Done:         final,
+		}
+		if n := staleN.Load(); n > 0 {
+			tel.AvgStaleness = float64(staleSum.Load()) / float64(n)
+			tel.MaxStaleness = int(staleMax.Load())
+		}
+		if sb, ok := strat.(StalenessBounded); ok {
+			tel.MaxStaleness = sb.ObservedMaxStaleness()
+		}
+		return tel
+	}
+	var samplerDone chan struct{}
+	stopSampler := make(chan struct{})
+	if cfg.OnTelemetry != nil {
+		every := cfg.TelemetryEvery
+		if every <= 0 {
+			every = DefaultTelemetryEvery
+		}
+		samplerDone = make(chan struct{})
+		go func() {
+			defer close(samplerDone)
+			tick := time.NewTicker(every)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSampler:
+					return
+				case <-tick.C:
+					cfg.OnTelemetry(sample(false))
+				}
+			}
+		}()
+	}
+
 	wg.Wait()
 	elapsed := time.Since(start)
+	if samplerDone != nil {
+		close(stopSampler)
+		<-samplerDone
+		cfg.OnTelemetry(sample(true))
+	}
 
 	final := vec.NewDense(d)
 	model.Snapshot(final)
@@ -296,7 +420,7 @@ func Run(cfg Config) (*Result, error) {
 		Iters:    int(done.Load()),
 		Strategy: strat.Name(),
 		Elapsed:  elapsed,
-		CoordOps: coordOps.Load(),
+		CoordOps: coordOps.Load() + sumProgress(),
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.UpdatesPerSec = float64(res.Iters) / secs

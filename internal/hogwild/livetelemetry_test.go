@@ -1,0 +1,110 @@
+package hogwild
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestTelemetryFinalSnapshotMatchesResult: the Done sample is taken
+// after every worker exited, so its meters must equal the Result's
+// exactly, and the periodic samples must be monotone on the way there.
+func TestTelemetryFinalSnapshotMatchesResult(t *testing.T) {
+	var samples []Telemetry
+	res, err := Run(Config{
+		Workers: 3, TotalIters: 4000, Alpha: 0.01, Seed: 5,
+		Oracle:         constOracle{d: 4},
+		Strategy:       NewBoundedStaleness(4),
+		OnTelemetry:    func(tel Telemetry) { samples = append(samples, tel) },
+		TelemetryEvery: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no telemetry samples (the final Done sample always fires)")
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].Iters < samples[i-1].Iters || samples[i].CoordOps < samples[i-1].CoordOps {
+			t.Fatalf("meters not monotone at sample %d: %+v -> %+v", i, samples[i-1], samples[i])
+		}
+		if samples[i].Elapsed < samples[i-1].Elapsed {
+			t.Fatalf("elapsed went backwards at sample %d", i)
+		}
+	}
+	for i, s := range samples {
+		if s.Done != (i == len(samples)-1) {
+			t.Fatalf("sample %d/%d has Done=%v", i, len(samples), s.Done)
+		}
+	}
+	last := samples[len(samples)-1]
+	if last.Iters != res.Iters || last.CoordOps != res.CoordOps {
+		t.Fatalf("final sample (%d iters, %d ops) != result (%d iters, %d ops)",
+			last.Iters, last.CoordOps, res.Iters, res.CoordOps)
+	}
+	if res.Iters != 4000 {
+		t.Fatalf("iters %d, want 4000", res.Iters)
+	}
+	// Gated strategy: the gauge is live, so the sample carries it.
+	if last.MaxStaleness != res.MaxStaleness || last.MaxStaleness < 0 {
+		t.Fatalf("final staleness %d != result %d", last.MaxStaleness, res.MaxStaleness)
+	}
+}
+
+// TestTelemetryNeverChangesResults: the same config with and without
+// telemetry must produce identical results — the per-worker progress
+// slots replace the exit-time fold without double counting. The
+// constant-gradient oracle makes Final and CoordOps deterministic
+// regardless of worker interleaving.
+func TestTelemetryNeverChangesResults(t *testing.T) {
+	base := Config{
+		Workers: 4, TotalIters: 2000, Alpha: 0.01, Seed: 11,
+		Oracle: constOracle{d: 6},
+	}
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tapped := base
+	tapped.OnTelemetry = func(Telemetry) {}
+	tapped.TelemetryEvery = time.Millisecond
+	probed, err := Run(tapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Iters != probed.Iters || plain.CoordOps != probed.CoordOps {
+		t.Fatalf("telemetry changed the meters: %d/%d vs %d/%d",
+			plain.Iters, plain.CoordOps, probed.Iters, probed.CoordOps)
+	}
+	for i := range plain.Final {
+		if plain.Final[i] != probed.Final[i] {
+			t.Fatalf("telemetry changed the model at coord %d: %v vs %v",
+				i, plain.Final[i], probed.Final[i])
+		}
+	}
+}
+
+// TestTelemetryCallbackSerialized: OnTelemetry is documented to never
+// run concurrently with itself (one sampler goroutine owns every call).
+func TestTelemetryCallbackSerialized(t *testing.T) {
+	var inFlight atomic.Int32
+	var violations atomic.Int32
+	_, err := Run(Config{
+		Workers: 4, TotalIters: 50000, Alpha: 0.001, Seed: 3,
+		Oracle: constOracle{d: 4},
+		OnTelemetry: func(Telemetry) {
+			if inFlight.Add(1) != 1 {
+				violations.Add(1)
+			}
+			time.Sleep(50 * time.Microsecond)
+			inFlight.Add(-1)
+		},
+		TelemetryEvery: 100 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent OnTelemetry invocations", v)
+	}
+}

@@ -81,6 +81,17 @@ func (r *Report) FailedCells() int {
 // CellResult.Err exactly as the engine left them (callers gate on
 // Report.FailedCells).
 func RunRequest(ctx context.Context, req SweepRequest, onResult func(sweep.CellResult)) (*Report, error) {
+	return RunRequestStream(ctx, req, onResult, nil)
+}
+
+// RunRequestStream is RunRequest with a live telemetry tap: when
+// onTelemetry is non-nil and the request opted in (TelemetryMS > 0),
+// every running hogwild cell is sampled at the requested period and the
+// snapshots are delivered — serialized with onResult, carrying the same
+// document-global cell indices — as they are taken. Telemetry never
+// changes the returned document; it is a presentation-layer side
+// channel.
+func RunRequestStream(ctx context.Context, req SweepRequest, onResult func(sweep.CellResult), onTelemetry func(sweep.TelemetrySample)) (*Report, error) {
 	req, err := req.Normalized()
 	if err != nil {
 		return nil, err
@@ -102,6 +113,13 @@ func RunRequest(ctx context.Context, req SweepRequest, onResult func(sweep.CellR
 			spec.OnResult = func(r sweep.CellResult) {
 				r.Index += offset
 				onResult(r)
+			}
+		}
+		if onTelemetry != nil && req.TelemetryMS > 0 {
+			spec.TelemetryEvery = time.Duration(req.TelemetryMS) * time.Millisecond
+			spec.OnTelemetry = func(ts sweep.TelemetrySample) {
+				ts.Index += offset
+				onTelemetry(ts)
 			}
 		}
 		results, err := sweep.RunContext(ctx, spec)

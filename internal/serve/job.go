@@ -20,19 +20,26 @@ const (
 )
 
 // Event is one element of a job's event stream (NDJSON line / SSE
-// event). Exactly one of Cell, Document, Err is set, per Type:
+// event). Exactly one of Cell, Telemetry, Document, Err is set, per Type:
 //
 //   - "cell": one completed grid cell, in completion order, carrying the
 //     same document-global index as the final aggregate's results array.
+//   - "telemetry": a live progress snapshot of one running hogwild cell
+//     (staleness gauge, contention counters, iteration progress).
+//     Emitted only when the request opted in via telemetry_ms; never
+//     emitted by machine cells, and never terminal. Telemetry events are
+//     buffered like every other event, so a late subscriber replays the
+//     identical interleaved stream an early subscriber saw.
 //   - "aggregate": the terminal success event; Document is the full
 //     asgdbench/v2 report (the bytes GET …/result returns, compacted
 //     into the event line).
 //   - "error": the terminal failure/cancellation event.
 type Event struct {
-	Type     string            `json:"type"`
-	Cell     *sweep.CellResult `json:"cell,omitempty"`
-	Document json.RawMessage   `json:"document,omitempty"`
-	Err      string            `json:"err,omitempty"`
+	Type      string                 `json:"type"`
+	Cell      *sweep.CellResult      `json:"cell,omitempty"`
+	Telemetry *sweep.TelemetrySample `json:"telemetry,omitempty"`
+	Document  json.RawMessage        `json:"document,omitempty"`
+	Err       string                 `json:"err,omitempty"`
 }
 
 // Job is one submitted sweep: its normalized request, its position in
@@ -93,6 +100,19 @@ func (j *Job) appendCell(r sweep.CellResult) {
 	if r.Err != "" {
 		j.failed++
 	}
+	j.bump()
+}
+
+// appendTelemetry records one live telemetry snapshot. Like appendCell,
+// samples arriving after the terminal event are dropped so the terminal
+// event stays last in every replay.
+func (j *Job) appendTelemetry(ts sweep.TelemetrySample) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.terminal() {
+		return
+	}
+	j.events = append(j.events, Event{Type: "telemetry", Telemetry: &ts})
 	j.bump()
 }
 

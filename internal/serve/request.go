@@ -79,6 +79,15 @@ type SweepRequest struct {
 	// so it is deliberately excluded from the cache key: a pinned and an
 	// unpinned request for the same machine grid share cached results.
 	Pin bool `json:"pin_workers,omitempty"`
+	// TelemetryMS opts the job into live "telemetry" events on its event
+	// stream: every running hogwild cell is sampled at this period (in
+	// milliseconds) and the snapshots interleave with "cell" events. 0
+	// disables telemetry. Machine cells never emit telemetry (the
+	// simulator has no live gauges), so a machine-only request with
+	// TelemetryMS set streams exactly as if it were 0 — which is also why
+	// the field is excluded from the cache key: only machine sweeps are
+	// cacheable, and for them telemetry changes nothing.
+	TelemetryMS int `json:"telemetry_ms,omitempty"`
 }
 
 // ErrBadRequest reports an invalid sweep request.
@@ -149,6 +158,9 @@ func (q SweepRequest) Normalized() (SweepRequest, error) {
 	case "machine", "hogwild", "both":
 	default:
 		return q, fmt.Errorf("%w: runtime %q (want machine, hogwild or both)", ErrBadRequest, q.Runtime)
+	}
+	if q.TelemetryMS < 0 {
+		return q, fmt.Errorf("%w: telemetry_ms %d (want ≥ 0)", ErrBadRequest, q.TelemetryMS)
 	}
 	return q, nil
 }

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/version"
 )
 
@@ -75,13 +76,21 @@ type Server struct {
 	cancelAll context.CancelFunc
 
 	mu       sync.Mutex
+	cond     *sync.Cond // signaled on pending append and on drain
 	jobs     map[string]*Job
 	order    []string // submission order
 	finished []string // completion order (the fairness observable)
 	nextID   int
-	queue    chan *Job
+	// pending is the FIFO queue of jobs awaiting the executor. A slice
+	// rather than a channel so cancellation can compact a canceled job
+	// out of the queue immediately: with a buffered channel, a job
+	// canceled while queued kept occupying its slot until the executor
+	// reached and skipped it, so a full queue of canceled jobs still
+	// answered 429 and /healthz over-counted queued work.
+	pending  []*Job
 	draining bool
 	cache    *lruCache
+	met      *serverMetrics
 
 	execDone chan struct{}
 }
@@ -95,10 +104,11 @@ func New(cfg Config) *Server {
 		baseCtx:   ctx,
 		cancelAll: cancel,
 		jobs:      make(map[string]*Job),
-		queue:     make(chan *Job, cfg.QueueDepth),
 		cache:     newLRUCache(cfg.CacheSize),
 		execDone:  make(chan struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
+	s.met = newServerMetrics(s)
 	go s.executor()
 	return s
 }
@@ -109,6 +119,7 @@ func New(cfg Config) *Server {
 func (s *Server) Submit(req SweepRequest) (*Job, error) {
 	norm, key, cells, err := req.expand()
 	if err != nil {
+		s.met.submissions.With("rejected_invalid").Inc()
 		if errors.Is(err, ErrBadRequest) {
 			return nil, err
 		}
@@ -118,26 +129,34 @@ func (s *Server) Submit(req SweepRequest) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
+		s.met.submissions.With("rejected_draining").Inc()
 		return nil, ErrDraining
 	}
 	if norm.Cacheable() {
 		if hit, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Inc()
+			s.met.submissions.With("cache_hit").Inc()
 			job := s.cachedJobLocked(norm, key, cells, hit)
 			return job, nil
 		}
+		s.met.cacheMisses.Inc()
 	}
-	if len(s.queue) == cap(s.queue) {
+	// Capacity gates on live queued jobs only: canceled jobs are
+	// compacted out of pending by noteFinished, so they cannot occupy
+	// slots and force spurious 429s.
+	if len(s.pending) >= s.cfg.QueueDepth {
+		s.met.submissions.With("rejected_full").Inc()
 		return nil, ErrQueueFull
 	}
 	id := fmt.Sprintf("j%d", s.nextID+1)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job := newJob(id, key, norm, cells, ctx, cancel)
-	// The capacity check above makes this send non-blocking; both happen
-	// under s.mu, so Drain's close(queue) cannot interleave.
-	s.queue <- job
+	s.pending = append(s.pending, job)
+	s.cond.Signal()
 	s.nextID++
 	s.jobs[id] = job
 	s.order = append(s.order, id)
+	s.met.submissions.With("accepted").Inc()
 	return job, nil
 }
 
@@ -165,6 +184,7 @@ func (s *Server) cachedJobLocked(req SweepRequest, key string, cells int, hit *c
 	s.jobs[id] = job
 	s.order = append(s.order, id)
 	s.finished = append(s.finished, id)
+	s.met.jobsFinished.With(JobDone).Inc()
 	s.pruneLocked()
 	return job
 }
@@ -208,7 +228,7 @@ func (s *Server) Drain(ctx context.Context) error {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	select {
@@ -225,17 +245,31 @@ func (s *Server) Close() {
 	s.mu.Lock()
 	if !s.draining {
 		s.draining = true
-		close(s.queue)
+		s.cond.Broadcast()
 	}
 	s.mu.Unlock()
 	s.cancelAll()
 	<-s.execDone
 }
 
-// executor is the single job runner: FIFO over the bounded queue.
+// executor is the single job runner: FIFO over the pending queue. It
+// exits once the server is draining and the queue is empty — draining
+// still runs every job queued before the drain began.
 func (s *Server) executor() {
 	defer close(s.execDone)
-	for job := range s.queue {
+	for {
+		s.mu.Lock()
+		for len(s.pending) == 0 && !s.draining {
+			s.cond.Wait()
+		}
+		if len(s.pending) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		job := s.pending[0]
+		s.pending[0] = nil // release the Job for GC under History pruning
+		s.pending = s.pending[1:]
+		s.mu.Unlock()
 		s.runJob(job)
 	}
 }
@@ -251,7 +285,20 @@ func (s *Server) runJob(j *Job) {
 	j.bump()
 	j.mu.Unlock()
 
-	doc, err := RunRequest(j.ctx, j.req, j.appendCell)
+	s.met.queueWait.Observe(j.started.Sub(j.submitted).Seconds())
+	s.met.running.Inc()
+	defer s.met.running.Dec()
+
+	onCell := func(r sweep.CellResult) {
+		j.appendCell(r)
+		s.met.cells.Inc()
+		s.met.cellSeconds.Observe(r.Seconds)
+	}
+	onTelemetry := func(ts sweep.TelemetrySample) {
+		j.appendTelemetry(ts)
+		s.met.telemetrySamples.Inc()
+	}
+	doc, err := RunRequestStream(j.ctx, j.req, onCell, onTelemetry)
 	switch {
 	case err == nil:
 		var buf bytes.Buffer
@@ -262,7 +309,10 @@ func (s *Server) runJob(j *Job) {
 		j.finish(JobDone, buf.Bytes(), "")
 		if j.req.Cacheable() {
 			j.mu.Lock()
-			entry := &cached{events: j.events, doc: j.doc}
+			// Copy the event buffer: the cached entry outlives the job
+			// and is shared by every future cache-hit job, so it must not
+			// alias a live slice anyone could append to.
+			entry := &cached{events: append([]Event(nil), j.events...), doc: j.doc}
 			key := j.key
 			j.mu.Unlock()
 			s.mu.Lock()
@@ -277,10 +327,22 @@ func (s *Server) runJob(j *Job) {
 	s.noteFinished(j)
 }
 
-// noteFinished records completion order and prunes old history.
+// noteFinished records completion order, compacts the job out of the
+// pending queue if it is still there (a job canceled while queued frees
+// its slot immediately — the queue-capacity fix), and prunes history.
 func (s *Server) noteFinished(j *Job) {
+	j.mu.Lock()
+	state := j.state
+	j.mu.Unlock()
+	s.met.jobsFinished.With(state).Inc()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	for i, q := range s.pending {
+		if q == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			break
+		}
+	}
 	s.finished = append(s.finished, j.id)
 	s.pruneLocked()
 }
@@ -337,6 +399,7 @@ type Health struct {
 // Handler returns the HTTP API:
 //
 //	GET    /healthz                 liveness + queue gauges
+//	GET    /metrics                 Prometheus text-format metrics
 //	GET    /v1/jobs                 all retained jobs, submission order
 //	POST   /v1/sweeps               submit a SweepRequest → 202 JobStatus
 //	GET    /v1/sweeps/{id}          one job's status
@@ -346,6 +409,7 @@ type Health struct {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.Handle("GET /metrics", s.met.reg.Handler())
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleStatus)
@@ -362,7 +426,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		Version:      version.Version,
 		Draining:     s.draining,
 		Jobs:         len(s.jobs),
-		Queued:       len(s.queue),
+		Queued:       len(s.pending),
 		QueueDepth:   s.cfg.QueueDepth,
 		CachedSweeps: s.cache.len(),
 	}
@@ -383,12 +447,16 @@ func (s *Server) handleJobs(w http.ResponseWriter, _ *http.Request) {
 	for _, id := range s.order {
 		jobs = append(jobs, s.jobs[id])
 	}
+	// Snapshot completion order under the same lock so jobs and finished
+	// are coherent: the FIFO-fairness observable over HTTP (asgdload
+	// checks finished ids are increasing for its non-cached jobs).
+	finished := append([]string(nil), s.finished...)
 	s.mu.Unlock()
 	statuses := make([]JobStatus, len(jobs))
 	for i, j := range jobs {
 		statuses[i] = j.status()
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses})
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": statuses, "finished": finished})
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -485,6 +553,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, ErrUnknownJob)
 		return
 	}
+	s.met.subscribers.Inc()
+	defer s.met.subscribers.Dec()
 	sse := strings.Contains(r.Header.Get("Accept"), "text/event-stream")
 	if sse {
 		w.Header().Set("Content-Type", "text/event-stream")
@@ -557,12 +627,20 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config) error {
 		return err
 	case <-ctx.Done():
 	}
-	dctx, cancel := context.WithTimeout(context.Background(), cfg.withDefaults().DrainTimeout)
+	cfg = cfg.withDefaults()
+	dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
-		// Drain timed out: fall through to shutdown anyway; Close (the
-		// defer) cancels whatever is still running.
-		_ = err
+		// Drain timed out: cancel the still-running jobs now, before the
+		// HTTP shutdown, so open event streams receive their terminal
+		// event and close instead of pinning Shutdown to its deadline.
+		s.Close()
 	}
-	return hs.Shutdown(dctx)
+	// Shutdown gets its own fresh timeout. Reusing dctx here would hand
+	// Shutdown an already-expired context whenever Drain timed out,
+	// making it abort in-flight responses immediately instead of closing
+	// them gracefully.
+	sctx, scancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer scancel()
+	return hs.Shutdown(sctx)
 }

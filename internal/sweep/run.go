@@ -58,6 +58,16 @@ func RunContext(ctx context.Context, s Spec) ([]CellResult, error) {
 		wg     sync.WaitGroup
 		emitMu sync.Mutex
 	)
+	// Serialize telemetry emission with result emission: concurrent cells
+	// sample concurrently, but the consumer sees one interleaved stream.
+	if s.OnTelemetry != nil {
+		inner := s.OnTelemetry
+		s.OnTelemetry = func(ts TelemetrySample) {
+			emitMu.Lock()
+			inner(ts)
+			emitMu.Unlock()
+		}
+	}
 	canceledFrom := len(cells)
 	for i, c := range cells {
 		if ctx.Err() != nil {
@@ -195,7 +205,7 @@ func runCell(s *Spec, c Cell) CellResult {
 			return res
 		}
 		strat := c.strategy.Hogwild()
-		out, err := hogwild.Run(hogwild.Config{
+		cfg := hogwild.Config{
 			Workers:         c.Workers,
 			TotalIters:      s.Iters,
 			Alpha:           c.Alpha,
@@ -206,7 +216,24 @@ func runCell(s *Spec, c Cell) CellResult {
 			PinWorkers:      s.PinWorkers,
 			X0:              x0,
 			SampleStaleness: s.Probe,
-		})
+		}
+		if s.OnTelemetry != nil {
+			emit := s.OnTelemetry
+			cell := c
+			cfg.TelemetryEvery = s.TelemetryEvery
+			cfg.OnTelemetry = func(t hogwild.Telemetry) {
+				emit(TelemetrySample{
+					Cell:         cell,
+					Seconds:      t.Elapsed.Seconds(),
+					Iters:        t.Iters,
+					CoordOps:     t.CoordOps,
+					MaxStaleness: t.MaxStaleness,
+					AvgStaleness: t.AvgStaleness,
+					Done:         t.Done,
+				})
+			}
+		}
+		out, err := hogwild.Run(cfg)
 		if err != nil {
 			res.Err = err.Error()
 			return res
@@ -259,8 +286,16 @@ func (r *CellResult) fill(oracle grad.Oracle, final vec.Dense, elapsed time.Dura
 	if d2, err := vec.Dist2Sq(final, opt); err == nil {
 		r.FinalDist2 = d2
 	}
+	// The optimality gap is mathematically ≥ 0, but floating-point
+	// evaluation near the optimum can produce a tiny negative value.
+	// Clamp to zero and flag it rather than silently dropping the field:
+	// a clamped gap means "converged to within float error", which is a
+	// different statement from "gap not computed".
 	if gap := oracle.Value(final) - oracle.Value(opt); gap > 0 {
 		r.FinalLoss = gap
+	} else {
+		r.FinalLoss = 0
+		r.GapClamped = true
 	}
 	r.Seconds = elapsed.Seconds()
 	if r.Seconds > 0 {

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"math"
+	"time"
 
 	"asyncsgd/internal/core"
 	"asyncsgd/internal/grad"
@@ -220,6 +221,46 @@ type Spec struct {
 	// (execution order, serialized). The slice Run returns is always in
 	// cell-index order regardless.
 	OnResult func(CellResult)
+	// OnTelemetry, when non-nil, streams periodic live snapshots of every
+	// running Hogwild cell — the staleness gauge and the iteration /
+	// coordinate-op progress counters — sampled every TelemetryEvery.
+	// Calls are serialized with each other and with OnResult (the same
+	// emission lock), so a consumer may interleave both streams without
+	// its own locking. Machine cells emit no telemetry: the simulator is
+	// single-threaded per cell and its meters only exist once the cell
+	// returns. Telemetry never affects results; every sample field is
+	// wall-clock-dependent (see TelemetrySample).
+	OnTelemetry func(TelemetrySample)
+	// TelemetryEvery is the per-cell sampling period for OnTelemetry
+	// (0 ⇒ hogwild.DefaultTelemetryEvery).
+	TelemetryEvery time.Duration
+}
+
+// TelemetrySample is one live snapshot of a running Hogwild cell: the
+// cell's coordinates plus the runtime's meters at sampling time. Unlike
+// CellResult, every measured field here is nondeterministic — samples
+// depend on when the wall-clock ticker fired against the racing workers
+// — so telemetry is an observability stream, never part of the
+// deterministic document contract (reruns of the same spec produce
+// identical results but incomparable telemetry).
+type TelemetrySample struct {
+	Cell
+	// Seconds is the wall-clock time since the cell's workers launched.
+	Seconds float64 `json:"seconds"`
+	// Iters is the number of iterations completed so far (monotone across
+	// one cell's samples).
+	Iters int `json:"iters"`
+	// CoordOps is the shared model-coordinate traffic so far (monotone).
+	CoordOps int64 `json:"coord_ops"`
+	// MaxStaleness is the cell's staleness gauge at sampling time: the
+	// exact bounded-staleness gauge for gated strategies, the probe max
+	// under Spec.Probe, −1 when the cell measures neither.
+	MaxStaleness int `json:"max_staleness"`
+	// AvgStaleness is the probe mean so far (0 unless Spec.Probe).
+	AvgStaleness float64 `json:"avg_staleness,omitempty"`
+	// Done marks the cell's final snapshot, taken after its workers
+	// exited; its Iters and CoordOps equal the cell's CellResult.
+	Done bool `json:"done,omitempty"`
 }
 
 // Cell is one fully resolved grid coordinate: the cross product entry
@@ -255,6 +296,12 @@ type CellResult struct {
 	FinalLoss float64 `json:"final_loss"`
 	// FinalDist2 is ‖x_final − x*‖².
 	FinalDist2 float64 `json:"final_dist2"`
+	// GapClamped flags a cell whose measured optimality gap came out
+	// non-positive — stochastic noise can leave the final iterate at a
+	// sampled objective value at or below the optimum's — so FinalLoss
+	// was clamped to 0. Without the flag, "converged to the optimum" and
+	// "gap measurement degenerate" were indistinguishable zeros.
+	GapClamped bool `json:"gap_clamped,omitempty"`
 	// MaxStaleness is the observed maximum staleness: the gated gauge
 	// (Hogwild) or the tracker's max admissions-during-flight (Machine);
 	// −1 when the cell does not measure it.
