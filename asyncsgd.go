@@ -10,8 +10,12 @@
 //   - the martingale analysis toolkit (rate supermartingales, the failure
 //     probability bounds of Theorems 3.1/6.3/6.5 and Corollary 6.7, and
 //     the Section-5 lower-bound closed forms),
-//   - the experiment drivers (E1–E17) that regenerate every quantitative
+//   - the experiment drivers (E1–E19) that regenerate every quantitative
 //     claim in the paper,
+//   - a fault-injection layer (DESIGN.md §8): crash/rejoin scheduling
+//     with crash-safe ticket reclamation on both runtimes, plus a
+//     Byzantine-gradient adversary with norm-clipping and
+//     coordinate-median defenses,
 //   - the concurrent scenario-sweep engine (RunSweep) that executes
 //     parameter grids on a GOMAXPROCS-aware pool with deterministic
 //     per-cell seeds, and
@@ -36,6 +40,7 @@ import (
 	"asyncsgd/internal/grad"
 	"asyncsgd/internal/hogwild"
 	"asyncsgd/internal/martingale"
+	"asyncsgd/internal/report"
 	"asyncsgd/internal/rng"
 	"asyncsgd/internal/sched"
 	"asyncsgd/internal/serve"
@@ -171,6 +176,25 @@ type (
 	CrashAt = sched.CrashAt
 	// Quantum models OS-style preemptive quanta (bursty benign schedules).
 	Quantum = sched.Quantum
+	// Faulty is the crash-fault adversary: it kills chosen threads at
+	// chosen points inside an iteration (see CrashPoint) and can park
+	// spare thread ids that rejoin after a crash. Pair ticket crashes
+	// with EpochConfig.CrashRecovery to exercise the reclamation
+	// protocol (DESIGN.md §8).
+	Faulty = sched.Faulty
+	// ThreadCrash is one planned crash in a Faulty policy.
+	ThreadCrash = sched.ThreadCrash
+	// CrashPoint selects where inside an iteration a ThreadCrash fires.
+	CrashPoint = sched.CrashPoint
+)
+
+// Crash points of the Faulty adversary. CrashHoldingTicket — dying with
+// a claimed, unpublished staleness ticket — is the one that wedges a
+// gated discipline unless EpochConfig.CrashRecovery is armed.
+const (
+	CrashAtBoundary    = sched.CrashAtBoundary
+	CrashAtGate        = sched.CrashAtGate
+	CrashHoldingTicket = sched.CrashHoldingTicket
 )
 
 // --- the paper's algorithms ----------------------------------------------
@@ -308,6 +332,63 @@ func NewEpochFenceStrategy(every int) Strategy { return hogwild.NewEpochFence(ev
 // RunParallel executes lock-free (or lock-based) SGD on real goroutines.
 func RunParallel(cfg ParallelConfig) (*ParallelResult, error) { return hogwild.Run(cfg) }
 
+// --- fault injection -------------------------------------------------------
+
+type (
+	// FaultPlan is the real-thread crash schedule (ParallelConfig.Faults):
+	// seeded, deterministic per plan, validated against the worker count.
+	// Recover arms supervisor-side ticket reclamation — required for
+	// in-flight crashes under a gated strategy, which would otherwise
+	// deadlock the survivors at the ≤ τ admission (DESIGN.md §8).
+	FaultPlan = hogwild.FaultPlan
+	// WorkerFault is one planned worker crash in a FaultPlan.
+	WorkerFault = hogwild.WorkerFault
+	// ByzantineMode selects a gradient-corruption transform.
+	ByzantineMode = grad.ByzantineMode
+	// CorruptionMeter is implemented by the Byzantine oracle wrapper:
+	// the count of corrupted gradients delivered, shared across clones.
+	CorruptionMeter = grad.CorruptionMeter
+	// ClipMeter is implemented by the norm-clip wrapper: the count of
+	// gradients it modified (rescaled or sanitized).
+	ClipMeter = grad.ClipMeter
+)
+
+// Byzantine corruption modes. SignFlip is norm-plausible (clipping
+// cannot see it; coordinate-median aggregation can), ScaleBlowup and
+// NaNInject are norm-visible (per-update clipping defuses both).
+const (
+	SignFlip    = grad.SignFlip
+	ScaleBlowup = grad.ScaleBlowup
+	NaNInject   = grad.NaNInject
+)
+
+// ErrStrategyBusy reports a Strategy value bound by a concurrent run; a
+// Strategy may be reused sequentially but never concurrently.
+var ErrStrategyBusy = hogwild.ErrStrategyBusy
+
+// NewByzantine wraps an oracle so that a seeded roster of f of the n
+// worker clones corrupts every stochastic gradient it returns (Value
+// stays honest; the SparseOracle capability is preserved). The wrapper
+// implements CorruptionMeter.
+func NewByzantine(base Oracle, mode ByzantineMode, f, n int, scale float64, seed uint64) (Oracle, error) {
+	return grad.NewByzantine(base, mode, f, n, scale, seed)
+}
+
+// NewNormClip wraps an oracle with per-update gradient norm clipping:
+// oversized gradients rescale to limit preserving direction, non-finite
+// coordinates zero out. The wrapper implements ClipMeter.
+func NewNormClip(base Oracle, limit float64) (Oracle, error) {
+	return grad.NewNormClip(base, limit)
+}
+
+// NewMedianAggregateStrategy returns the coordinate-median aggregation
+// defense: each round every live worker deposits a proposed update and
+// one leader applies the coordinate-wise median, so a Byzantine
+// minority's gradients are outvoted — including the norm-plausible
+// sign-flip that clipping cannot detect. Real threads only (no machine
+// counterpart); the round barrier is crash-aware.
+func NewMedianAggregateStrategy() Strategy { return hogwild.NewMedianAggregate() }
+
 // ParallelFullConfig parameterizes Algorithm 2 on real goroutines.
 type ParallelFullConfig = hogwild.FullConfig
 
@@ -374,7 +455,25 @@ type (
 	// is built from (ParallelConfig.OnTelemetry when driving the runtime
 	// directly).
 	ParallelTelemetry = hogwild.Telemetry
+	// SweepFaults is one crash-fault axis entry of a SweepSpec
+	// ("none", "crash/k[/rejoin]", "ticket/k[/rejoin]").
+	SweepFaults = sweep.Faults
+	// SweepByzantine is one gradient-corruption axis entry
+	// ("none", "signflip/f", "scale/f", "nan/f").
+	SweepByzantine = sweep.Byzantine
+	// SweepDefense is one defense axis entry ("none", "clip/L",
+	// "median"; median requires the hogwild runtime).
+	SweepDefense = sweep.Defense
 )
+
+// ParseSweepFaults parses a crash-fault axis label.
+func ParseSweepFaults(s string) (SweepFaults, error) { return sweep.ParseFaults(s) }
+
+// ParseSweepByzantine parses a gradient-corruption axis label.
+func ParseSweepByzantine(s string) (SweepByzantine, error) { return sweep.ParseByzantine(s) }
+
+// ParseSweepDefense parses a defense axis label.
+func ParseSweepDefense(s string) (SweepDefense, error) { return sweep.ParseDefense(s) }
 
 // Sweep runtimes.
 const (
@@ -426,6 +525,14 @@ func RunSweepContext(ctx context.Context, s SweepSpec) ([]SweepCellResult, error
 // replicates into Welford accumulators.
 func AggregateSweep(results []SweepCellResult) []SweepPointStat {
 	return sweep.Aggregate(results)
+}
+
+// SweepFaultTable renders aggregated results as the robustness table:
+// the fault/byzantine/defense labels plus the crash, reclamation,
+// corruption and divergence counters (E19's format). The returned
+// table prints via its String method.
+func SweepFaultTable(title string, stats []SweepPointStat) *report.Table {
+	return sweep.FaultTable(title, stats)
 }
 
 // --- sweep-as-a-service ------------------------------------------------------
@@ -495,7 +602,7 @@ const (
 	FullScale = experiments.Full
 )
 
-// ExperimentIDs lists the available experiments (e1..e17).
+// ExperimentIDs lists the available experiments (e1..e19).
 func ExperimentIDs() []string { return experiments.IDs() }
 
 // RunExperiment executes one experiment and writes its tables to w.

@@ -1,5 +1,5 @@
 // Command asgdbench regenerates the paper's quantitative results. Each
-// experiment id (e1..e17) maps to one theorem, lemma, figure, discussion
+// experiment id (e1..e19) maps to one theorem, lemma, figure, discussion
 // point or runtime claim; see DESIGN.md §3 for the index.
 //
 // Usage:
@@ -63,7 +63,7 @@ func run(args []string, out io.Writer) error {
 		return runSweep(args[1:], out)
 	}
 	fs := flag.NewFlagSet("asgdbench", flag.ContinueOnError)
-	exp := fs.String("exp", "all", "experiment id (e1..e17), comma list, or 'all'")
+	exp := fs.String("exp", "all", "experiment id (e1..e19), comma list, or 'all'")
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	list := fs.Bool("list", false, "list experiments and exit")
 	asJSON := fs.Bool("json", false, "emit machine-readable JSON results instead of report text")
@@ -72,7 +72,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(fs.Output(), `asgdbench — regenerate the PODC'18 reproduction's experiment tables.
 
 Usage:
-  asgdbench [flags]              run experiments (e1..e17)
+  asgdbench [flags]              run experiments (e1..e19)
   asgdbench sweep [flags]        run a staleness phase-diagram sweep
                                  (see 'asgdbench sweep -h')
 
@@ -166,6 +166,9 @@ func runSweep(args []string, out io.Writer) error {
 	adversary := fs.Int("adversary", 24, "machine runtime: MaxStale budget (0 = round-robin)")
 	runtimeName := fs.String("runtime", "machine", "cell runtime: machine, hogwild or both")
 	pin := fs.Bool("pin", false, "hogwild runtime: pin worker goroutines to OS threads")
+	faults := fs.String("faults", "none", "crash/rejoin axis: none, crash/<n>[/rejoin], ticket/<n>[/rejoin] (comma list)")
+	byz := fs.String("byzantine", "none", "gradient-corruption axis: none, signflip/<f>, scale/<f>, nan/<f> (comma list)")
+	defense := fs.String("defense", "none", "defense axis: none, clip/<limit>, median (comma list; median needs -runtime hogwild)")
 	asJSON := fs.Bool("json", false, "emit the asgdbench/v2 JSON document with per-cell records")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Usage = func() {
@@ -181,6 +184,8 @@ Examples:
   asgdbench sweep
   asgdbench sweep -taus 1,2,4 -workers 2,4 -reps 5
   asgdbench sweep -runtime hogwild -json
+  asgdbench sweep -faults none,ticket/1/rejoin -taus 4
+  asgdbench sweep -runtime hogwild -byzantine none,signflip/1 -defense none,clip/5,median
 `)
 	}
 	if err := fs.Parse(args); err != nil {
@@ -225,6 +230,9 @@ Examples:
 		Adversary:  adversary,
 		Runtime:    *runtimeName,
 		Pin:        *pin,
+		Faults:     splitList(*faults),
+		Byzantine:  splitList(*byz),
+		Defenses:   splitList(*defense),
 	}
 	start := time.Now()
 	report, err := serve.RunRequest(context.Background(), req, nil)
@@ -260,6 +268,19 @@ Examples:
 		return fmt.Errorf("%d/%d cells failed", failed, len(all))
 	}
 	return nil
+}
+
+// splitList splits a comma-separated label list, trimming whitespace.
+// Label validation happens in SweepRequest.Normalized, the same place a
+// JSON request body is checked.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 func parseInts(s string) ([]int, error) {

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncsgd/internal/rng"
 	"asyncsgd/internal/serve"
 	"asyncsgd/internal/version"
 )
@@ -310,7 +311,13 @@ func drive(base string, cfg harnessConfig) (*report, error) {
 					"runtime":      cfg.Runtime,
 					"telemetry_ms": cfg.TelemetryMS,
 				})
-				id, ms, tries, got429s, err := submitWithRetry(client, base, body)
+				// Jitter is seeded per job from the harness seed, not from
+				// time or a global source: rerunning with the same -seed
+				// replays the same backoff schedule, so the SLO report is a
+				// function of the configuration and the server's behaviour
+				// alone.
+				jitter := rng.NewStream(cfg.Seed, jitterStream+uint64(i))
+				id, ms, tries, got429s, err := submitWithRetry(client, base, body, jitter)
 				attempts.Add(int64(tries))
 				n429.Add(int64(got429s))
 				if err != nil {
@@ -360,10 +367,19 @@ func drive(base string, cfg harnessConfig) (*report, error) {
 	return rep, nil
 }
 
-// submitWithRetry POSTs one sweep, retrying 429s with linear backoff.
-// It returns the job id, the accepted attempt's round trip in ms, the
-// number of attempts made and how many of them were shed with 429.
-func submitWithRetry(client *http.Client, base string, body []byte) (id string, ms float64, tries, got429s int, err error) {
+// jitterStream offsets the per-job jitter RNG streams away from the
+// seed+i job seeds, so backoff noise never correlates with sweep
+// content.
+const jitterStream = uint64(1) << 40
+
+// submitWithRetry POSTs one sweep, retrying 429s with linear backoff
+// plus seeded jitter: attempt k sleeps min(k,20)·5ms + U[0,5ms) drawn
+// from the caller's deterministic RNG. The jitter decorrelates
+// submitters hammering a full queue without making reruns
+// irreproducible. It returns the job id, the accepted attempt's round
+// trip in ms, the number of attempts made and how many of them were
+// shed with 429.
+func submitWithRetry(client *http.Client, base string, body []byte, jitter *rng.Rand) (id string, ms float64, tries, got429s int, err error) {
 	for {
 		tries++
 		t0 := time.Now()
@@ -388,7 +404,9 @@ func submitWithRetry(client *http.Client, base string, body []byte) (id string, 
 			if got429s > 1000 {
 				return "", 0, tries, got429s, fmt.Errorf("giving up after %d 429s", got429s)
 			}
-			time.Sleep(time.Duration(min(got429s, 20)) * 5 * time.Millisecond)
+			backoff := time.Duration(min(got429s, 20)) * 5 * time.Millisecond
+			backoff += time.Duration(jitter.Float64() * float64(5*time.Millisecond))
+			time.Sleep(backoff)
 		default:
 			return "", 0, tries, got429s, fmt.Errorf("submit: %s: %s", resp.Status, payload)
 		}

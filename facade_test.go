@@ -111,7 +111,8 @@ func TestPublicAPIDataAndExperiments(t *testing.T) {
 	if ls.Constants().C <= 0 {
 		t.Error("derived constants broken")
 	}
-	if got := len(ExperimentIDs()); got != 17 {
+	// e1..e17 plus e19 (e18 is benchmark-derived, no driver).
+	if got := len(ExperimentIDs()); got != 18 {
 		t.Errorf("experiments = %d", got)
 	}
 	var buf bytes.Buffer

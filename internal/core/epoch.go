@@ -67,6 +67,29 @@ type EpochConfig struct {
 	// 0 disables.
 	FenceEvery int
 
+	// CrashRecovery arms the gated disciplines' crash-safe ticket
+	// reclamation. Without it, a thread the adversary crashes between
+	// claiming an iteration and publishing it on the done counter pins the
+	// counter forever: every survivor spins at the gate until MaxSteps
+	// (the deadlock ROADMAP item 4(b) asks about). With it, each gated
+	// worker announces its claim in a per-thread register right after the
+	// claiming fetch&add, the machine raises a crash flag the moment a
+	// thread dies (shm.Config.CrashFlagBase), and blocked survivors
+	// interleave one probe per spin cycle: on finding a crashed peer whose
+	// announced claim is exactly the stuck done value, they tombstone the
+	// orphaned ticket with a CAS on the done counter (exactly-once — the
+	// counter is monotone and only one CAS from c to c+1 can win). The
+	// tombstoned iteration's updates are lost (its owner died mid-flight);
+	// the ≤ τ admission bound for survivors is preserved.
+	//
+	// One window stays unrecoverable by construction: a crash after the
+	// claiming fetch&add executes but before the announce write does. The
+	// sched.Faulty adversary never crashes there — it kills threads only
+	// while their pending operation is a counter claim (not yet executed),
+	// a gate read, or a model update. Ignored unless a gated discipline
+	// (StalenessBound/FenceEvery) is active.
+	CrashRecovery bool
+
 	// Momentum enables the §8 alternative mitigation: each worker keeps a
 	// local heavy-ball velocity v ← β·v + g̃ and applies −α·v.
 	Momentum float64
@@ -93,6 +116,11 @@ type EpochResult struct {
 	// tracker, and the next run reusing it Resets it — extract any
 	// statistics you need before starting the next tracked epoch.
 	Tracker *contention.Tracker
+	// RecoveredTickets counts orphaned gate tickets survivors tombstoned
+	// on the done counter (CrashRecovery runs only). Each one is a claim
+	// whose owner the adversary crashed mid-flight and whose completion a
+	// survivor published on its behalf, unsticking the gate.
+	RecoveredTickets int64
 	// Records holds completed iterations sorted by first model update —
 	// the paper's total order. Empty unless Record.
 	Records []IterRecord
@@ -155,13 +183,21 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 		rec = &recorder{records: make([]IterRecord, 0, cfg.TotalIters)}
 	}
 	gated := cfg.StalenessBound > 0 || cfg.FenceEvery > 0
+	recov := cfg.CrashRecovery && gated
+	doneAddr := ModelBase + d
 	opts := workerOpts{
 		momentum:       cfg.Momentum,
 		stalenessEta:   cfg.StalenessEta,
 		stalenessBound: cfg.StalenessBound,
 		batch:          cfg.Batch,
 		fenceEvery:     cfg.FenceEvery,
-		doneAddr:       ModelBase + d,
+		doneAddr:       doneAddr,
+	}
+	if recov {
+		opts.recover = true
+		opts.threads = cfg.Threads
+		opts.announceBase = doneAddr + 1
+		opts.crashBase = doneAddr + 1 + cfg.Threads
 	}
 	progs := make([]shm.Program, cfg.Threads)
 	for i := 0; i < cfg.Threads; i++ {
@@ -186,11 +222,20 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 			// threads it waits for.
 			maxSteps *= 2 + cfg.Threads
 		}
+		if recov {
+			// Each blocked spin cycle interleaves up to three probe steps
+			// (crash flag, announce, tombstone CAS) with the gate read.
+			maxSteps *= 2
+		}
 	}
 
 	memSize := 1 + d
 	if gated {
 		memSize++ // the shared done counter at ModelBase+d
+	}
+	if recov {
+		// Per-thread announce registers, then per-thread crash flags.
+		memSize += 2 * cfg.Threads
 	}
 	initMem := make([]float64, memSize)
 	copy(initMem[ModelBase:], x0)
@@ -217,10 +262,11 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 	}
 
 	m, err := shm.New(shm.Config{
-		MemSize:  memSize,
-		MaxSteps: maxSteps,
-		InitMem:  initMem,
-		OnStep:   onStep,
+		MemSize:       memSize,
+		MaxSteps:      maxSteps,
+		InitMem:       initMem,
+		OnStep:        onStep,
+		CrashFlagBase: opts.crashBase, // 0 unless recovery is armed
 	}, cfg.Policy, progs...)
 	if err != nil {
 		return nil, fmt.Errorf("build machine: %w", err)
@@ -233,20 +279,22 @@ func RunEpoch(cfg EpochConfig) (*EpochResult, error) {
 		tracker.Finalize()
 	}
 
-	var coordOps int64
+	var coordOps, recovered int64
 	for _, p := range progs {
 		if w, ok := p.(*worker); ok {
 			coordOps += w.coordOps
+			recovered += w.recovered
 		}
 	}
 
 	res := &EpochResult{
-		Alpha:    cfg.Alpha,
-		X0:       x0.Clone(),
-		FinalX:   vec.FromSlice(m.Mem()[ModelBase : ModelBase+d]),
-		Stats:    stats,
-		CoordOps: coordOps,
-		Tracker:  tracker,
+		Alpha:            cfg.Alpha,
+		X0:               x0.Clone(),
+		FinalX:           vec.FromSlice(m.Mem()[ModelBase : ModelBase+d]),
+		Stats:            stats,
+		CoordOps:         coordOps,
+		Tracker:          tracker,
+		RecoveredTickets: recovered,
 	}
 	if rec != nil {
 		res.Records = rec.records

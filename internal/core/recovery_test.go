@@ -1,0 +1,107 @@
+package core
+
+import (
+	"testing"
+
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/vec"
+)
+
+// ticketCrashConfig is the shared scenario of the recovery tests: three
+// gated threads, the adversary kills one mid-update — view taken, ticket
+// claimed and unpublished — the exact state the reclamation protocol
+// exists for.
+func ticketCrashConfig(t *testing.T, recover bool) EpochConfig {
+	t.Helper()
+	return EpochConfig{
+		Threads: 3, TotalIters: 60, Alpha: 0.05,
+		Oracle: isoOracle(t, 4, 0.1),
+		Policy: &sched.Faulty{
+			Crashes: []sched.ThreadCrash{{Thread: 1, AfterIters: 4, Point: sched.CrashHoldingTicket}},
+		},
+		Seed: 37, StalenessBound: 2, CrashRecovery: recover,
+	}
+}
+
+// TestTicketCrashWithoutRecoveryStallsGate demonstrates the deadlock the
+// recovery protocol fixes: the dead thread's claimed-unpublished ticket
+// pins the done counter, so once the survivors exhaust the τ budget they
+// spin at the gate until MaxSteps.
+func TestTicketCrashWithoutRecoveryStallsGate(t *testing.T) {
+	res, err := RunEpoch(ticketCrashConfig(t, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Crashed != 1 {
+		t.Fatalf("crashed = %d, want 1", res.Stats.Crashed)
+	}
+	if res.Stats.Stalled != 2 {
+		t.Fatalf("stalled = %d, want 2 — the orphaned ticket should wedge both survivors", res.Stats.Stalled)
+	}
+	if res.RecoveredTickets != 0 {
+		t.Fatalf("recovered = %d without CrashRecovery", res.RecoveredTickets)
+	}
+}
+
+// TestTicketCrashRecoveryUnsticksGate: with CrashRecovery armed a
+// survivor tombstones the orphaned ticket and the run completes the full
+// budget — and, being a machine execution, does so bit-reproducibly.
+func TestTicketCrashRecoveryUnsticksGate(t *testing.T) {
+	run := func() *EpochResult {
+		t.Helper()
+		res, err := RunEpoch(ticketCrashConfig(t, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.Stats.Crashed != 1 {
+		t.Fatalf("crashed = %d, want 1", res.Stats.Crashed)
+	}
+	if res.Stats.Stalled != 0 {
+		t.Fatalf("stalled = %d, want 0 — recovery should unstick the gate", res.Stats.Stalled)
+	}
+	if res.Stats.Completed != 2 {
+		t.Fatalf("completed = %d, want 2", res.Stats.Completed)
+	}
+	if res.RecoveredTickets < 1 {
+		t.Fatalf("recovered = %d, want ≥ 1", res.RecoveredTickets)
+	}
+	again := run()
+	if !vec.ApproxEqual(res.FinalX, again.FinalX, 0) {
+		t.Fatal("recovery run is not bit-reproducible")
+	}
+	if again.RecoveredTickets != res.RecoveredTickets || again.Stats != res.Stats {
+		t.Fatal("recovery statistics differ across identical runs")
+	}
+}
+
+// TestMachineRejoinActivatesSpare: sched.Faulty's spare mechanism — the
+// parked top thread id activates after a crash, so the machine ends the
+// run with the same number of live finishers it started with.
+func TestMachineRejoinActivatesSpare(t *testing.T) {
+	res, err := RunEpoch(EpochConfig{
+		Threads: 4, TotalIters: 80, Alpha: 0.05,
+		Oracle: isoOracle(t, 4, 0.1),
+		Policy: &sched.Faulty{
+			Crashes:     []sched.ThreadCrash{{Thread: 0, AfterIters: 3, Point: sched.CrashHoldingTicket}},
+			Spares:      1,
+			RejoinDelay: 32,
+		},
+		Seed: 41, StalenessBound: 2, CrashRecovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Crashed != 1 {
+		t.Fatalf("crashed = %d, want 1", res.Stats.Crashed)
+	}
+	if res.Stats.Stalled != 0 {
+		t.Fatalf("stalled = %d, want 0", res.Stats.Stalled)
+	}
+	// Two original survivors plus the activated spare all complete.
+	if res.Stats.Completed != 3 {
+		t.Fatalf("completed = %d, want 3 (spare rejoined)", res.Stats.Completed)
+	}
+}

@@ -72,6 +72,13 @@ const (
 	phaseUpdate
 	phasePubRead // gated disciplines: wait for the done counter to reach this claim
 	phasePubFAA  // gated disciplines: publish this iteration's completion
+
+	// Crash-recovery phases (EpochConfig.CrashRecovery). A blocked gate or
+	// publish spin interleaves one failure-detector probe per cycle:
+	phaseAnnounce     // the announce write of a fresh claim just executed
+	phaseScanCrash    // read one peer's crash flag
+	phaseScanAnnounce // peer is dead: read its announced claim
+	phaseScanCAS      // announced claim is the stuck ticket: tombstone it
 )
 
 // workerOpts carries the optional algorithm extensions discussed in the
@@ -98,6 +105,16 @@ type workerOpts struct {
 	batch          int // b ≥ 1: buffer b gradients before one scatter pass; 0 disables
 	fenceEvery     int // E ≥ 1: gate views on done ≥ ⌊claim/E⌋·E; 0 disables
 	doneAddr       int // register of the shared done counter (gated disciplines)
+
+	// Crash recovery (EpochConfig.CrashRecovery): gated workers announce
+	// each claim in announce[id] = claimed+1 right after the claiming
+	// fetch&add, and blocked spinners probe peers' crash flags (written by
+	// the machine, shm.Config.CrashFlagBase) to tombstone orphaned tickets
+	// on the done counter.
+	recover      bool
+	threads      int // thread count (probe round-robin modulus)
+	announceBase int // register of thread 0's announce slot
+	crashBase    int // register of thread 0's crash flag
 }
 
 // gated reports whether the worker runs behind a done-counter gate.
@@ -137,6 +154,13 @@ type worker struct {
 	batchPending int       // buffered gradients
 	finishing    bool      // terminal batch flush in progress: terminate after updates
 	coordOps     int64     // executed model-coordinate reads + updates
+
+	// Crash-recovery probe state (opts.recover only).
+	probeT    int         // round-robin peer cursor for crash-flag probes
+	lastDone  int         // done-counter value observed by the blocked spin read
+	scanA     int         // announced claim read from the probed dead peer
+	resume    workerPhase // blocked phase to return to after a probe cycle
+	recovered int64       // orphaned tickets this worker tombstoned
 
 	cur IterRecord // record under construction
 }
@@ -210,14 +234,26 @@ func (w *worker) NextInto(prev shm.Result, req *shm.Request) bool {
 		}
 		w.claimed = int(prev.Val)
 		if w.opts.gated() {
+			if w.opts.recover {
+				// Announce the claim before anything else, so a crash at
+				// any later point leaves a reclaimable ticket.
+				return w.issueAnnounce(req)
+			}
 			w.phase = phaseGate
 			return w.issueGateRead(req)
 		}
 		return w.startIteration(prev.Time, req)
 
+	case phaseAnnounce:
+		w.phase = phaseGate
+		return w.issueGateRead(req)
+
 	case phaseGate:
 		if int(prev.Val) >= w.gateMin() {
 			return w.startIteration(prev.Time, req)
+		}
+		if w.opts.recover {
+			return w.issueCrashProbe(prev, phaseGate, req)
 		}
 		return w.issueGateRead(req) // still blocked: spin on the done counter
 
@@ -280,15 +316,111 @@ func (w *worker) NextInto(prev shm.Result, req *shm.Request) bool {
 			}
 			return false
 		}
+		if w.opts.recover {
+			return w.issueCrashProbe(prev, phasePubRead, req)
+		}
 		return w.issuePubRead(req) // predecessors unpublished: spin
 
 	case phasePubFAA:
 		w.iter++
 		return w.issueCounter(req)
 
+	case phaseScanCrash:
+		if prev.Val != 0 {
+			// Peer probeT is dead: read what it announced.
+			w.phase = phaseScanAnnounce
+			*req = shm.Request{
+				Kind: shm.OpRead,
+				Addr: w.opts.announceBase + w.probeT,
+				Tag: contention.Tag{
+					Thread: w.id, Iter: w.iter, Role: contention.RoleProbe,
+					Coord: w.probeT,
+				},
+			}
+			return false
+		}
+		return w.probeDone(req)
+
+	case phaseScanAnnounce:
+		w.scanA = int(prev.Val)
+		if w.scanA > 0 && w.scanA-1 == w.lastDone {
+			// The dead peer's announced claim is exactly the stuck done
+			// value: its ticket is the orphan pinning the gate. Tombstone
+			// it. The CAS is exactly-once across all survivors — done is
+			// monotone, so only one CAS from scanA−1 to scanA can succeed,
+			// and a stale announce (the peer had already published) can
+			// never match the current done value again.
+			w.phase = phaseScanCAS
+			*req = shm.Request{
+				Kind: shm.OpCAS,
+				Addr: w.opts.doneAddr,
+				Exp:  float64(w.scanA - 1),
+				Val:  float64(w.scanA),
+				Tag: contention.Tag{
+					Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
+					Coord: w.scanA,
+				},
+			}
+			return false
+		}
+		return w.probeDone(req)
+
+	case phaseScanCAS:
+		if prev.OK {
+			w.recovered++
+		}
+		return w.probeDone(req)
+
 	default:
 		return true
 	}
+}
+
+// issueAnnounce publishes the fresh claim in this worker's announce slot
+// (stored +1 so the zero register means "never claimed").
+func (w *worker) issueAnnounce(req *shm.Request) bool {
+	w.phase = phaseAnnounce
+	*req = shm.Request{
+		Kind: shm.OpWrite,
+		Addr: w.opts.announceBase + w.id,
+		Val:  float64(w.claimed + 1),
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleGate,
+			Coord: w.claimed,
+		},
+	}
+	return false
+}
+
+// issueCrashProbe starts one failure-detector probe cycle from a blocked
+// spin read: remember the stuck done value and the phase to resume, pick
+// the next peer round-robin, and read its crash flag.
+func (w *worker) issueCrashProbe(prev shm.Result, resume workerPhase, req *shm.Request) bool {
+	w.lastDone = int(prev.Val)
+	w.resume = resume
+	w.probeT = (w.probeT + 1) % w.opts.threads
+	if w.probeT == w.id {
+		w.probeT = (w.probeT + 1) % w.opts.threads
+	}
+	w.phase = phaseScanCrash
+	*req = shm.Request{
+		Kind: shm.OpRead,
+		Addr: w.opts.crashBase + w.probeT,
+		Tag: contention.Tag{
+			Thread: w.id, Iter: w.iter, Role: contention.RoleProbe,
+			Coord: w.probeT,
+		},
+	}
+	return false
+}
+
+// probeDone closes a probe cycle and re-issues the blocked spin read.
+func (w *worker) probeDone(req *shm.Request) bool {
+	w.phase = w.resume
+	if w.resume == phaseGate {
+		return w.issueGateRead(req)
+	}
+	return w.issuePubRead(req)
 }
 
 // startIteration runs once the iteration's claim (and, for gated

@@ -29,6 +29,15 @@ type PhaseOpts struct {
 	Seed       uint64    // spec seed (per-cell seeds are split from it)
 	Adversary  int       // Machine only: MaxStale budget (0 ⇒ round-robin)
 	Pin        bool      // Hogwild only: pin worker goroutines to OS threads
+
+	// The robustness axes (nil ⇒ neutral): fault-axis labels for
+	// sweep.ParseFaults ("crash/1/rejoin", …), corruption-axis labels for
+	// sweep.ParseByzantine ("signflip/1", …) and defense-axis labels for
+	// sweep.ParseDefense ("clip/5", "median"). E19 and the serve/CLI
+	// sweep surfaces all feed the grid through here.
+	Faults    []string
+	Byzantine []string
+	Defenses  []string
 }
 
 // phaseOracle is one sparsity-axis entry: least squares over synthetic
@@ -101,6 +110,27 @@ func PhaseDiagramSpec(o PhaseOpts) (sweep.Spec, error) {
 		spec.Policy = func(int, *rng.Rand) shm.Policy {
 			return &sched.MaxStale{Budget: budget}
 		}
+	}
+	for _, s := range o.Faults {
+		f, err := sweep.ParseFaults(s)
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
+	for _, s := range o.Byzantine {
+		b, err := sweep.ParseByzantine(s)
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec.Byzantine = append(spec.Byzantine, b)
+	}
+	for _, s := range o.Defenses {
+		d, err := sweep.ParseDefense(s)
+		if err != nil {
+			return sweep.Spec{}, err
+		}
+		spec.Defenses = append(spec.Defenses, d)
 	}
 	return spec, nil
 }

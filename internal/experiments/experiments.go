@@ -1,6 +1,6 @@
 // Package experiments contains one driver per quantitative claim of the
 // paper, regenerating the corresponding table/series (see DESIGN.md §3 for
-// the experiment index E1–E17). Each driver returns report tables with the
+// the experiment index E1–E19). Each driver returns report tables with the
 // paper's predicted values side by side with Monte-Carlo measurements from
 // the simulator (or the real-thread runtime for E10).
 package experiments
@@ -68,6 +68,7 @@ var registry = []struct {
 	{"e15", "Sparse update pipeline: O(nnz) work and touched-coordinate contention", E15SparsePipeline},
 	{"e16", "Staleness gate: capping the Section-5 adversary's τ at runtime", E16StalenessGate},
 	{"e17", "Staleness phase diagram: loss and observed τ over τ × n × sparsity (sweep engine)", E17PhaseDiagram},
+	{"e19", "Fault/recovery phase diagram: crashes, ticket recovery, Byzantine gradients × defenses", E19FaultRecovery},
 }
 
 // IDs returns the experiment ids in display order.

@@ -1,0 +1,183 @@
+package grad
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// This file implements the Byzantine-gradient adversary of the
+// robustness layer: an oracle wrapper that corrupts the stochastic
+// gradients of a seeded roster of f out of n workers while leaving the
+// objective itself honest — Value, FullGrad, Optimum and Constants all
+// delegate, so loss measurement and step-size derivation are never
+// polluted by the corruption. The defenses are NewNormClip (clip.go) and
+// the hogwild coordinate-median strategy.
+
+// ByzantineMode selects the corruption applied to a Byzantine worker's
+// gradients.
+type ByzantineMode uint8
+
+const (
+	// SignFlip negates every gradient coordinate: the classic
+	// omniscient-adversary direction reversal, ascent instead of descent.
+	SignFlip ByzantineMode = iota + 1
+	// ScaleBlowup multiplies the gradient by a large factor, modeling a
+	// worker that reports wildly overconfident updates.
+	ScaleBlowup
+	// NaNInject replaces the gradient with NaNs — the poison-pill failure
+	// that destroys an undefended shared model in one update.
+	NaNInject
+)
+
+// String returns the mode name (the sweep axis vocabulary).
+func (m ByzantineMode) String() string {
+	switch m {
+	case SignFlip:
+		return "signflip"
+	case ScaleBlowup:
+		return "scale"
+	case NaNInject:
+		return "nan"
+	default:
+		return fmt.Sprintf("ByzantineMode(%d)", uint8(m))
+	}
+}
+
+// CorruptionMeter is implemented by the Byzantine wrapper: it reports
+// how many stochastic gradients were corrupted so far, totaled across
+// every worker clone (one count per corrupted gradient, not per
+// coordinate).
+type CorruptionMeter interface {
+	CorruptedUpdates() int64
+}
+
+// NewByzantine wraps base so that a seeded roster of f of the n workers
+// emits corrupted stochastic gradients. The roster is a deterministic
+// function of seed (an rng-shuffled pick of f distinct ids in [0, n)),
+// so runs are reproducible; worker ids outside [0, n) — e.g. replacement
+// workers joining after a crash — are honest. The wrapper preserves the
+// SparseOracle capability of the base and implements CorruptionMeter.
+func NewByzantine(base Oracle, mode ByzantineMode, f, n int, scale float64, seed uint64) (Oracle, error) {
+	if base == nil {
+		return nil, fmt.Errorf("%w: nil base oracle", ErrBadParam)
+	}
+	if n < 1 || f < 0 || f > n {
+		return nil, fmt.Errorf("%w: byzantine roster %d of %d", ErrBadParam, f, n)
+	}
+	switch mode {
+	case SignFlip, NaNInject:
+	case ScaleBlowup:
+		if scale == 0 || math.IsNaN(scale) || math.IsInf(scale, 0) {
+			return nil, fmt.Errorf("%w: byzantine scale %g", ErrBadParam, scale)
+		}
+	default:
+		return nil, fmt.Errorf("%w: byzantine mode %v", ErrBadParam, mode)
+	}
+	roster := make([]bool, n)
+	perm := rng.New(seed).Perm(n)
+	for k := 0; k < f; k++ {
+		roster[perm[k]] = true
+	}
+	b := &byzantine{
+		base: base, mode: mode, scale: scale,
+		roster: roster, counter: new(atomic.Int64),
+	}
+	return wrapByz(b), nil
+}
+
+// byzantine is the dense wrapper; byzantineSparse adds the SparseOracle
+// capability when the base has it (AsSparse is a plain type assertion,
+// so the capability must live on a distinct concrete type).
+type byzantine struct {
+	base    Oracle
+	mode    ByzantineMode
+	scale   float64
+	roster  []bool // corrupt worker ids
+	evil    bool   // this clone corrupts
+	counter *atomic.Int64
+}
+
+type byzantineSparse struct {
+	byzantine
+	sbase SparseOracle
+}
+
+var (
+	_ Oracle          = (*byzantine)(nil)
+	_ CorruptionMeter = (*byzantine)(nil)
+	_ Oracle          = (*byzantineSparse)(nil)
+	_ SparseOracle    = (*byzantineSparse)(nil)
+)
+
+// wrapByz picks the concrete wrapper type for b's base.
+func wrapByz(b *byzantine) Oracle {
+	if so, ok := AsSparse(b.base); ok {
+		return &byzantineSparse{byzantine: *b, sbase: so}
+	}
+	return b
+}
+
+// CorruptedUpdates implements CorruptionMeter.
+func (b *byzantine) CorruptedUpdates() int64 { return b.counter.Load() }
+
+func (b *byzantine) Dim() int                  { return b.base.Dim() }
+func (b *byzantine) Value(x vec.Dense) float64 { return b.base.Value(x) }
+func (b *byzantine) FullGrad(dst, x vec.Dense) { b.base.FullGrad(dst, x) }
+func (b *byzantine) Optimum() vec.Dense        { return b.base.Optimum() }
+func (b *byzantine) Constants() Constants      { return b.base.Constants() }
+
+// CloneFor implements Oracle: the clone corrupts iff worker is on the
+// roster. The corruption counter is shared by every clone.
+func (b *byzantine) CloneFor(worker int) Oracle {
+	cp := *b
+	cp.base = b.base.CloneFor(worker)
+	cp.evil = worker >= 0 && worker < len(b.roster) && b.roster[worker]
+	return wrapByz(&cp)
+}
+
+func (b *byzantineSparse) CloneFor(worker int) Oracle { return b.byzantine.CloneFor(worker) }
+
+// Grad implements Oracle: the honest stochastic gradient, corrupted in
+// place when this clone is on the roster.
+func (b *byzantine) Grad(dst, x vec.Dense, r *rng.Rand) {
+	b.base.Grad(dst, x, r)
+	if b.evil {
+		corruptValues(dst, b.mode, b.scale)
+		b.counter.Add(1)
+	}
+}
+
+// PlanSparse implements SparseOracle (sparse wrapper only).
+func (b *byzantineSparse) PlanSparse(r *rng.Rand) []int { return b.sbase.PlanSparse(r) }
+
+// GradSparseAt implements SparseOracle, corrupting the planned sparse
+// gradient's values when this clone is on the roster.
+func (b *byzantineSparse) GradSparseAt(dst *vec.Sparse, vals []float64, r *rng.Rand) {
+	b.sbase.GradSparseAt(dst, vals, r)
+	if b.evil {
+		corruptValues(dst.Values, b.mode, b.scale)
+		b.counter.Add(1)
+	}
+}
+
+// corruptValues applies the mode to one gradient's coordinate values.
+func corruptValues(v []float64, mode ByzantineMode, scale float64) {
+	switch mode {
+	case SignFlip:
+		for j := range v {
+			v[j] = -v[j]
+		}
+	case ScaleBlowup:
+		for j := range v {
+			v[j] *= scale
+		}
+	case NaNInject:
+		for j := range v {
+			v[j] = math.NaN()
+		}
+	}
+}

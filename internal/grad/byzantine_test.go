@@ -1,0 +1,257 @@
+package grad
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+func byzBase(t *testing.T, d int) Oracle {
+	t.Helper()
+	q, err := NewIsoQuadratic(d, 1, 0.2, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return q
+}
+
+func TestByzantineValidation(t *testing.T) {
+	base := byzBase(t, 4)
+	cases := []struct {
+		name  string
+		build func() (Oracle, error)
+	}{
+		{"nil base", func() (Oracle, error) { return NewByzantine(nil, SignFlip, 1, 2, 0, 7) }},
+		{"f > n", func() (Oracle, error) { return NewByzantine(base, SignFlip, 3, 2, 0, 7) }},
+		{"n < 1", func() (Oracle, error) { return NewByzantine(base, SignFlip, 0, 0, 0, 7) }},
+		{"bad mode", func() (Oracle, error) { return NewByzantine(base, ByzantineMode(99), 1, 2, 0, 7) }},
+		{"zero scale", func() (Oracle, error) { return NewByzantine(base, ScaleBlowup, 1, 2, 0, 7) }},
+		{"nan scale", func() (Oracle, error) { return NewByzantine(base, ScaleBlowup, 1, 2, math.NaN(), 7) }},
+	}
+	for _, c := range cases {
+		if _, err := c.build(); !errors.Is(err, ErrBadParam) {
+			t.Errorf("%s: err = %v, want ErrBadParam", c.name, err)
+		}
+	}
+	if _, err := NewNormClip(nil, 1); !errors.Is(err, ErrBadParam) {
+		t.Errorf("clip nil base: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewNormClip(base, 0); !errors.Is(err, ErrBadParam) {
+		t.Errorf("clip limit 0: err = %v, want ErrBadParam", err)
+	}
+	if _, err := NewNormClip(base, math.Inf(1)); !errors.Is(err, ErrBadParam) {
+		t.Errorf("clip limit +inf: err = %v, want ErrBadParam", err)
+	}
+}
+
+// TestByzantineRosterSeededAndSized: exactly f of the n worker clones
+// corrupt, the roster is a pure function of the seed, and out-of-range
+// worker ids (replacement workers) stay honest.
+func TestByzantineRosterSeededAndSized(t *testing.T) {
+	const d, f, n = 4, 2, 5
+	evilSet := func(seed uint64) []bool {
+		wrapped, err := NewByzantine(byzBase(t, d), NaNInject, f, n, 0, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := vec.NewDense(d)
+		x := vec.Constant(d, 1)
+		evil := make([]bool, n)
+		for w := 0; w < n; w++ {
+			wrapped.CloneFor(w).Grad(g, x, rng.New(3))
+			evil[w] = math.IsNaN(g[0])
+		}
+		// A replacement worker's id is past the roster: always honest.
+		wrapped.CloneFor(n+3).Grad(g, x, rng.New(3))
+		if math.IsNaN(g[0]) {
+			t.Fatal("out-of-roster worker id was corrupted")
+		}
+		return evil
+	}
+	first := evilSet(99)
+	count := 0
+	for _, e := range first {
+		if e {
+			count++
+		}
+	}
+	if count != f {
+		t.Fatalf("%d corrupt clones, want exactly %d", count, f)
+	}
+	for i, e := range evilSet(99) {
+		if e != first[i] {
+			t.Fatal("roster changed between constructions with the same seed")
+		}
+	}
+}
+
+// TestByzantineModes: each mode's corrupted gradient is the documented
+// transform of the honest one drawn from the same stream, and the shared
+// meter counts one event per corrupted gradient across clones.
+func TestByzantineModes(t *testing.T) {
+	const d = 4
+	x := vec.Constant(d, 1.5)
+	honest := vec.NewDense(d)
+	byzBase(t, d).CloneFor(0).Grad(honest, x, rng.New(11))
+
+	for _, tc := range []struct {
+		mode  ByzantineMode
+		check func(g vec.Dense) bool
+	}{
+		{SignFlip, func(g vec.Dense) bool {
+			for j := range g {
+				if g[j] != -honest[j] {
+					return false
+				}
+			}
+			return true
+		}},
+		{ScaleBlowup, func(g vec.Dense) bool {
+			for j := range g {
+				if g[j] != 10*honest[j] {
+					return false
+				}
+			}
+			return true
+		}},
+		{NaNInject, func(g vec.Dense) bool {
+			for j := range g {
+				if !math.IsNaN(g[j]) {
+					return false
+				}
+			}
+			return true
+		}},
+	} {
+		// f = n: every clone is on the roster, no roster search needed.
+		wrapped, err := NewByzantine(byzBase(t, d), tc.mode, 2, 2, 10, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		clone := wrapped.CloneFor(0)
+		g := vec.NewDense(d)
+		clone.Grad(g, x, rng.New(11))
+		if !tc.check(g) {
+			t.Errorf("%v: corrupted gradient %v does not match transform of %v", tc.mode, g, honest)
+		}
+		// The objective stays honest: only stochastic gradients are attacked.
+		if v := clone.Value(x); math.IsNaN(v) || v != wrapped.Value(x) {
+			t.Errorf("%v: Value polluted: %v", tc.mode, v)
+		}
+		m := wrapped.(CorruptionMeter)
+		if got := m.CorruptedUpdates(); got != 1 {
+			t.Errorf("%v: meter = %d after one corrupted gradient, want 1", tc.mode, got)
+		}
+		// The counter is shared: the other clone's corruption is visible
+		// through the first handle.
+		wrapped.CloneFor(1).Grad(g, x, rng.New(12))
+		if got := m.CorruptedUpdates(); got != 2 {
+			t.Errorf("%v: shared meter = %d, want 2", tc.mode, got)
+		}
+	}
+}
+
+// TestByzantineSparseCapability: the wrapper preserves AsSparse and
+// corrupts the sparse gradient's values in place.
+func TestByzantineSparseCapability(t *testing.T) {
+	ds := sparseDataset(t, 10, 0.5)
+	sls, err := NewSparseLeastSquares(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped, err := NewByzantine(sls, NaNInject, 1, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	so, ok := AsSparse(wrapped.CloneFor(0))
+	if !ok {
+		t.Fatal("byzantine wrapper lost the SparseOracle capability")
+	}
+	r := rng.New(5)
+	support := so.PlanSparse(r)
+	vals := make([]float64, len(support))
+	var sg vec.Sparse
+	so.GradSparseAt(&sg, vals, r)
+	if len(sg.Values) == 0 {
+		t.Fatal("empty sparse gradient")
+	}
+	for _, v := range sg.Values {
+		if !math.IsNaN(v) {
+			t.Fatalf("sparse gradient value %v survived NaN injection", v)
+		}
+	}
+	if got := wrapped.(CorruptionMeter).CorruptedUpdates(); got != 1 {
+		t.Fatalf("meter = %d, want 1", got)
+	}
+
+	clipped, err := NewNormClip(sls, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := AsSparse(clipped.CloneFor(0)); !ok {
+		t.Fatal("clip wrapper lost the SparseOracle capability")
+	}
+}
+
+// TestNormClip: oversized gradients rescale to the limit preserving
+// direction, in-budget gradients pass untouched, non-finite coordinates
+// are zeroed, and the meter counts modified gradients only.
+func TestNormClip(t *testing.T) {
+	v := []float64{3, 4} // norm 5
+	if !clipValues(v, 2.5) {
+		t.Fatal("oversized gradient not reported as clipped")
+	}
+	if math.Abs(math.Hypot(v[0], v[1])-2.5) > 1e-12 {
+		t.Fatalf("clipped norm %v, want 2.5", math.Hypot(v[0], v[1]))
+	}
+	if math.Abs(v[0]/v[1]-3.0/4.0) > 1e-12 {
+		t.Fatalf("clipping changed the direction: %v", v)
+	}
+
+	v = []float64{0.3, 0.4}
+	if clipValues(v, 2.5) {
+		t.Fatal("in-budget gradient reported as clipped")
+	}
+	if v[0] != 0.3 || v[1] != 0.4 {
+		t.Fatalf("in-budget gradient modified: %v", v)
+	}
+
+	v = []float64{math.NaN(), math.Inf(1), 1}
+	if !clipValues(v, 2.5) {
+		t.Fatal("non-finite gradient not reported as clipped")
+	}
+	if v[0] != 0 || v[1] != 0 || v[2] != 1 {
+		t.Fatalf("sanitized gradient %v, want [0 0 1]", v)
+	}
+}
+
+// TestClipDefusesNaNInjection: the layered wrap the sweep builds —
+// clip(byzantine(base)) — turns the poison-pill attack into harmless
+// zero updates, and both meters tick.
+func TestClipDefusesNaNInjection(t *testing.T) {
+	const d = 4
+	evil, err := NewByzantine(byzBase(t, d), NaNInject, 1, 1, 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defended, err := NewNormClip(evil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := vec.NewDense(d)
+	defended.CloneFor(0).Grad(g, vec.Constant(d, 1), rng.New(3))
+	for _, x := range g {
+		if x != 0 {
+			t.Fatalf("defended gradient %v, want all zeros", g)
+		}
+	}
+	if got := evil.(CorruptionMeter).CorruptedUpdates(); got != 1 {
+		t.Errorf("corruption meter = %d, want 1", got)
+	}
+	if got := defended.(ClipMeter).ClippedUpdates(); got != 1 {
+		t.Errorf("clip meter = %d, want 1", got)
+	}
+}

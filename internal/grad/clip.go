@@ -1,0 +1,129 @@
+package grad
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"asyncsgd/internal/rng"
+	"asyncsgd/internal/vec"
+)
+
+// ClipMeter is implemented by the norm-clip wrapper: it reports how many
+// stochastic gradients were modified (rescaled, or had non-finite
+// coordinates zeroed) so far, totaled across every worker clone.
+type ClipMeter interface {
+	ClippedUpdates() int64
+}
+
+// NewNormClip wraps base with the per-update defense against Byzantine
+// gradients: every stochastic gradient has its non-finite coordinates
+// zeroed and is then rescaled to ℓ2 norm ≤ limit. Clipping bounds the
+// damage any single update can do (it defuses NaN injection and scale
+// blowup outright) but cannot fix a coherent direction attack —
+// a sign-flipped gradient inside the norm budget passes untouched, which
+// is why the coordinate-median strategy exists. Applied to every worker,
+// honest or not: the defender cannot tell them apart. The wrapper
+// preserves the SparseOracle capability of the base and implements
+// ClipMeter.
+func NewNormClip(base Oracle, limit float64) (Oracle, error) {
+	if base == nil {
+		return nil, fmt.Errorf("%w: nil base oracle", ErrBadParam)
+	}
+	if !(limit > 0) || math.IsInf(limit, 0) {
+		return nil, fmt.Errorf("%w: clip limit %g (want finite > 0)", ErrBadParam, limit)
+	}
+	c := &normClip{base: base, limit: limit, counter: new(atomic.Int64)}
+	return wrapClip(c), nil
+}
+
+// normClip is the dense wrapper; normClipSparse adds the SparseOracle
+// capability when the base has it (see byzantine.go for why the
+// capability needs a distinct concrete type).
+type normClip struct {
+	base    Oracle
+	limit   float64
+	counter *atomic.Int64
+}
+
+type normClipSparse struct {
+	normClip
+	sbase SparseOracle
+}
+
+var (
+	_ Oracle       = (*normClip)(nil)
+	_ ClipMeter    = (*normClip)(nil)
+	_ Oracle       = (*normClipSparse)(nil)
+	_ SparseOracle = (*normClipSparse)(nil)
+)
+
+func wrapClip(c *normClip) Oracle {
+	if so, ok := AsSparse(c.base); ok {
+		return &normClipSparse{normClip: *c, sbase: so}
+	}
+	return c
+}
+
+// ClippedUpdates implements ClipMeter.
+func (c *normClip) ClippedUpdates() int64 { return c.counter.Load() }
+
+func (c *normClip) Dim() int                  { return c.base.Dim() }
+func (c *normClip) Value(x vec.Dense) float64 { return c.base.Value(x) }
+func (c *normClip) FullGrad(dst, x vec.Dense) { c.base.FullGrad(dst, x) }
+func (c *normClip) Optimum() vec.Dense        { return c.base.Optimum() }
+func (c *normClip) Constants() Constants      { return c.base.Constants() }
+
+// CloneFor implements Oracle. The clipped counter is shared by every
+// clone.
+func (c *normClip) CloneFor(worker int) Oracle {
+	cp := *c
+	cp.base = c.base.CloneFor(worker)
+	return wrapClip(&cp)
+}
+
+func (c *normClipSparse) CloneFor(worker int) Oracle { return c.normClip.CloneFor(worker) }
+
+// Grad implements Oracle: the base stochastic gradient, sanitized and
+// clipped in place.
+func (c *normClip) Grad(dst, x vec.Dense, r *rng.Rand) {
+	c.base.Grad(dst, x, r)
+	if clipValues(dst, c.limit) {
+		c.counter.Add(1)
+	}
+}
+
+// PlanSparse implements SparseOracle (sparse wrapper only).
+func (c *normClipSparse) PlanSparse(r *rng.Rand) []int { return c.sbase.PlanSparse(r) }
+
+// GradSparseAt implements SparseOracle, sanitizing and clipping the
+// planned sparse gradient's values.
+func (c *normClipSparse) GradSparseAt(dst *vec.Sparse, vals []float64, r *rng.Rand) {
+	c.sbase.GradSparseAt(dst, vals, r)
+	if clipValues(dst.Values, c.limit) {
+		c.counter.Add(1)
+	}
+}
+
+// clipValues zeroes non-finite coordinates and rescales v to ℓ2 norm
+// ≤ limit, reporting whether anything changed.
+func clipValues(v []float64, limit float64) bool {
+	changed := false
+	var sq float64
+	for j, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			v[j] = 0
+			changed = true
+			continue
+		}
+		sq += x * x
+	}
+	if norm := math.Sqrt(sq); norm > limit {
+		s := limit / norm
+		for j := range v {
+			v[j] *= s
+		}
+		changed = true
+	}
+	return changed
+}

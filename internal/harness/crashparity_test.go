@@ -1,0 +1,181 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"asyncsgd/internal/core"
+	"asyncsgd/internal/hogwild"
+	"asyncsgd/internal/sched"
+	"asyncsgd/internal/vec"
+)
+
+// crashRecipe is the shared fault scenario of the parity test: worker 1
+// of three dies after 4 iterations while holding an unpublished
+// bounded-staleness ticket (τ = 2), and the supervisor reclaims it.
+// Both runtimes express this recipe natively — hogwild.FaultPlan on real
+// threads, sched.Faulty + CrashRecovery on the machine — and the test
+// pins the cross-runtime contract: same survivor count, full budget
+// completed, orphaned ticket reclaimed, and a bounded final gap.
+const (
+	parityTau     = 2
+	parityVictim  = 1
+	parityAfter   = 4
+	parityWorkers = 3
+	parityIters   = 800
+	parityAlpha   = 0.05
+	paritySeed    = 4242
+	parityX0      = 0.5
+)
+
+// TestCrashRecoveryParity runs the same seeded crash recipe on both
+// runtimes. Faulted multi-worker executions are (like fault-free ones)
+// only statistically comparable across runtimes, so the invariants are
+// structural — crash accounting, liveness, reclamation — plus a shared
+// suboptimality tolerance, not bit equality.
+func TestCrashRecoveryParity(t *testing.T) {
+	oh, err := denseOracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := oh.Dim()
+
+	hog, err := hogwild.Run(hogwild.Config{
+		Workers: parityWorkers, TotalIters: parityIters, Alpha: parityAlpha,
+		Oracle: oh, Seed: paritySeed, Strategy: hogwild.NewBoundedStaleness(parityTau),
+		X0: vec.Constant(d, parityX0),
+		Faults: &hogwild.FaultPlan{
+			Recover: true,
+			Faults:  []hogwild.WorkerFault{{Worker: parityVictim, AfterIters: parityAfter, InFlight: true}},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	os, err := denseOracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := core.RunEpoch(core.EpochConfig{
+		Threads: parityWorkers, TotalIters: parityIters, Alpha: parityAlpha,
+		Oracle: os, Seed: paritySeed, StalenessBound: parityTau,
+		X0: vec.Constant(d, parityX0),
+		Policy: &sched.Faulty{
+			Crashes: []sched.ThreadCrash{
+				{Thread: parityVictim, AfterIters: parityAfter, Point: sched.CrashHoldingTicket},
+			},
+		},
+		CrashRecovery: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivor parity: both runtimes lose exactly the planned victim.
+	if hog.Crashed != 1 || int(sim.Stats.Crashed) != 1 {
+		t.Fatalf("crash counts differ: %d (threads) vs %d (machine), want 1 on both",
+			hog.Crashed, sim.Stats.Crashed)
+	}
+	if sim.Stats.Completed != parityWorkers-1 {
+		t.Fatalf("machine survivors = %d, want %d", sim.Stats.Completed, parityWorkers-1)
+	}
+
+	// Liveness parity: the reclaimed ticket unsticks the gate on both
+	// runtimes, so the survivors finish the whole budget.
+	if hog.Iters != parityIters {
+		t.Fatalf("real threads completed %d/%d iterations", hog.Iters, parityIters)
+	}
+	if sim.Stats.Stalled != 0 {
+		t.Fatalf("machine stalled %d survivors at the gate", sim.Stats.Stalled)
+	}
+
+	// Reclamation parity: each runtime tombstoned the orphaned ticket.
+	if hog.RecoveredTickets < 1 || sim.RecoveredTickets < 1 {
+		t.Fatalf("recovered tickets: %d (threads) vs %d (machine), want ≥ 1 on both",
+			hog.RecoveredTickets, sim.RecoveredTickets)
+	}
+
+	// The admission bound survives the crash on the real threads.
+	if hog.MaxStaleness > parityTau {
+		t.Fatalf("real-thread staleness %d exceeds τ=%d after recovery", hog.MaxStaleness, parityTau)
+	}
+
+	// Bounded gap on both sides: the crash costs throughput, never
+	// convergence. The tolerance mirrors the fault-free differential
+	// suite's margin (~20× typical measured gaps at this budget).
+	hogGap := SuboptimalityGap(oh, hog.Final)
+	simGap := SuboptimalityGap(os, sim.FinalX)
+	start := SuboptimalityGap(oh, vec.Constant(d, parityX0))
+	for name, gap := range map[string]float64{"threads": hogGap, "machine": simGap} {
+		if math.IsNaN(gap) || math.IsInf(gap, 0) {
+			t.Fatalf("%s gap is non-finite: %v", name, gap)
+		}
+		if gap > start/4 {
+			t.Fatalf("%s gap %v did not shrink below %v (start %v) after %d iterations",
+				name, gap, start/4, start, parityIters)
+		}
+	}
+}
+
+// TestCrashParityDeterministicReplay: the machine leg of the recipe is
+// bit-reproducible (seeded fault plans are part of the cell identity),
+// and the hogwild leg's fault accounting is a function of the plan alone
+// — the properties the committed E19 table and the serve cache rely on.
+func TestCrashParityDeterministicReplay(t *testing.T) {
+	run := func() *core.EpochResult {
+		t.Helper()
+		o, err := denseOracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.RunEpoch(core.EpochConfig{
+			Threads: parityWorkers, TotalIters: 200, Alpha: parityAlpha,
+			Oracle: o, Seed: paritySeed, StalenessBound: parityTau,
+			X0: vec.Constant(o.Dim(), parityX0),
+			Policy: &sched.Faulty{
+				Crashes: []sched.ThreadCrash{
+					{Thread: parityVictim, AfterIters: parityAfter, Point: sched.CrashHoldingTicket},
+				},
+			},
+			CrashRecovery: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !vec.ApproxEqual(a.FinalX, b.FinalX, 0) {
+		t.Fatal("machine crash-recovery run is not bit-reproducible")
+	}
+	if a.Stats != b.Stats || a.RecoveredTickets != b.RecoveredTickets {
+		t.Fatalf("machine fault accounting differs across identical runs: %+v vs %+v", a.Stats, b.Stats)
+	}
+
+	counts := func() (int, int) {
+		t.Helper()
+		o, err := denseOracle()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := hogwild.Run(hogwild.Config{
+			Workers: parityWorkers, TotalIters: 200, Alpha: parityAlpha,
+			Oracle: o, Seed: paritySeed, Strategy: hogwild.NewBoundedStaleness(parityTau),
+			X0: vec.Constant(o.Dim(), parityX0),
+			Faults: &hogwild.FaultPlan{
+				Recover: true,
+				Faults:  []hogwild.WorkerFault{{Worker: parityVictim, AfterIters: parityAfter, InFlight: true}},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Crashed, res.RecoveredTickets
+	}
+	c1, r1 := counts()
+	c2, r2 := counts()
+	if c1 != c2 || r1 != r2 {
+		t.Fatalf("real-thread fault accounting varies across replays: %d/%d vs %d/%d", c1, r1, c2, r2)
+	}
+}

@@ -263,6 +263,26 @@ func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *stripedWindo
 	return w
 }
 
+// AbandonTicket implements TicketAbandoner: acquire a ticket through the
+// normal admission gate and return without releasing it — the in-flight
+// state a crash leaves behind. The held ticket pins the window's
+// low-water mark at or below it, so survivors block at the ≤ τ admission
+// until ReclaimTicket tombstones it. If another victim's unreclaimed
+// ticket is pinning the gate, the acquire spin here resolves as soon as
+// the supervisor reclaims it (reclamation never runs on this goroutine).
+func (w *gatedStepper) AbandonTicket() {
+	w.win.acquire(w.slot, w.minDone)
+}
+
+// ReclaimTicket implements TicketReclaimer: publish the tombstone for
+// this stepper's abandoned in-flight ticket by releasing its announce
+// slot, letting the low-water mark advance past the orphan. Idempotent
+// (releasing an idle slot is a no-op store). Called by Run's supervisor
+// after the owning worker is gone — never concurrently with the owner.
+func (w *gatedStepper) ReclaimTicket() {
+	w.win.release(w.slot)
+}
+
 func (w *gatedStepper) Step() int {
 	t := w.win.acquire(w.slot, w.minDone)
 	var ops int

@@ -1,0 +1,132 @@
+package hogwild
+
+import (
+	"fmt"
+)
+
+// This file defines the real-thread runtime's fault-injection surface:
+// a deterministic per-worker crash/rejoin plan (Config.Faults) injected
+// at the stepper boundary, plus the optional Stepper capabilities the
+// plan drives — abandoning and reclaiming gate tickets (the crash-safe
+// ticket reclamation of the window-gated disciplines) and leaving or
+// joining a round-membership strategy (the coordinate-median defense).
+// The machine-runtime counterparts are sched.Faulty and
+// core.EpochConfig.CrashRecovery.
+
+// WorkerFault is one planned crash. The victim worker dies immediately
+// before claiming its (AfterIters+1)-th iteration — i.e. after completing
+// exactly AfterIters steps — so the crash point is a deterministic
+// function of the worker's own progress, never of scheduling.
+type WorkerFault struct {
+	// Worker is the victim's id in [0, Config.Workers).
+	Worker int
+	// AfterIters is the number of iterations the victim completes before
+	// dying.
+	AfterIters int
+	// InFlight makes the victim die holding an acquired, unpublished gate
+	// ticket (window-gated strategies only — the stepper must implement
+	// TicketAbandoner; ignored otherwise). This is the crash that pins
+	// the gate's low-water mark: without FaultPlan.Recover every survivor
+	// would spin at the ≤ τ admission forever, so Run rejects the
+	// combination up front (the bare deadlock is demonstrated by the
+	// stripedWindow regression test instead).
+	InFlight bool
+	// Rejoin spawns a replacement worker after the crash.
+	Rejoin bool
+	// RejoinAfter delays the replacement until the global completion
+	// count has advanced this many iterations past the crash (0 = rejoin
+	// immediately). The replacement runs the same stepper protocol with a
+	// fresh deterministic RNG stream and never re-crashes.
+	RejoinAfter int
+}
+
+// FaultPlan is Config.Faults: a deterministic crash/rejoin schedule.
+// Every field of every fault is explicit — drivers that want seeded fault
+// placement (the sweep's faults axis) draw victims and crash iterations
+// from their own seeded RNG and hand the materialized plan over, so a
+// run's outcome is a function of (Config.Seed, plan) alone.
+type FaultPlan struct {
+	// Recover arms crash-safe ticket reclamation: when an InFlight victim
+	// dies, Run publishes a tombstone for its orphaned ticket (the
+	// TicketReclaimer capability), so the window's low-water mark advances
+	// and survivors keep the ≤ τ admission bound.
+	Recover bool
+	Faults  []WorkerFault
+}
+
+// validate checks the plan against a run's worker count.
+func (p *FaultPlan) validate(workers int) error {
+	seen := make(map[int]bool, len(p.Faults))
+	for _, f := range p.Faults {
+		if f.Worker < 0 || f.Worker >= workers {
+			return fmt.Errorf("%w: fault worker %d (want in [0,%d))", ErrBadConfig, f.Worker, workers)
+		}
+		if seen[f.Worker] {
+			return fmt.Errorf("%w: duplicate fault for worker %d", ErrBadConfig, f.Worker)
+		}
+		seen[f.Worker] = true
+		if f.AfterIters < 0 || f.RejoinAfter < 0 {
+			return fmt.Errorf("%w: negative fault delay in %+v", ErrBadConfig, f)
+		}
+	}
+	if len(p.Faults) >= workers {
+		return fmt.Errorf("%w: %d faults for %d workers (at least one worker must survive, mirroring the machine's n-1 crash bound)",
+			ErrBadConfig, len(p.Faults), workers)
+	}
+	return nil
+}
+
+// faultFor returns the plan's fault for one worker, or nil.
+func (p *FaultPlan) faultFor(w int) *WorkerFault {
+	for i := range p.Faults {
+		if p.Faults[i].Worker == w {
+			return &p.Faults[i]
+		}
+	}
+	return nil
+}
+
+// rejoins counts faults that request a replacement worker.
+func (p *FaultPlan) rejoins() int {
+	n := 0
+	for _, f := range p.Faults {
+		if f.Rejoin {
+			n++
+		}
+	}
+	return n
+}
+
+// TicketAbandoner is the optional Stepper capability behind
+// WorkerFault.InFlight: AbandonTicket acquires a gate ticket through the
+// stepper's admission protocol and returns without releasing it — the
+// worker then dies holding it, exactly the state a real crash leaves a
+// window-gated discipline in. Implemented by the bounded-staleness and
+// epoch-fence steppers.
+type TicketAbandoner interface {
+	AbandonTicket()
+}
+
+// TicketReclaimer is the recovery counterpart: ReclaimTicket publishes a
+// tombstone for the dead worker's in-flight ticket (releasing its
+// announce slot), letting the window's low-water mark advance past it.
+// Run invokes it from the supervisor — never the dead worker's goroutine
+// — when FaultPlan.Recover is set.
+type TicketReclaimer interface {
+	ReclaimTicket()
+}
+
+// Leaver is the optional Stepper capability of round-membership
+// strategies (the coordinate-median defense): Leave retires the worker
+// from the strategy's membership. Run calls it on every worker exit,
+// normal or crashed, so a strategy whose rounds barrier on membership
+// never waits for a worker that is gone.
+type Leaver interface {
+	Leave()
+}
+
+// Joiner is Leaver's admission counterpart: a replacement worker calls
+// Join before its first Step.
+type Joiner interface {
+	Join()
+}

@@ -80,8 +80,29 @@ type Config struct {
 	Mode       Mode
 	// Strategy overrides Mode with a custom synchronization discipline.
 	// The value is Bind-ed by Run and must not be shared by concurrent
-	// runs.
+	// runs — Run enforces this and fails fast with ErrStrategyBusy when a
+	// concurrent run already holds the value (sequential reuse is fine).
 	Strategy Strategy
+	// Faults injects a deterministic crash/rejoin plan at the stepper
+	// boundary: each planned victim dies after completing its configured
+	// number of iterations (optionally holding an unpublished gate
+	// ticket), and optionally a replacement worker joins after a delay.
+	// Crash points are functions of per-worker progress, so the set of
+	// crashes — though not the interleaving around them — is reproducible
+	// per seed. A victim whose planned iteration never arrives (the run
+	// completes first) dies at its exit point instead: a planned crash
+	// always fires, making Result.Crashed/Rejoined/RecoveredTickets
+	// deterministic functions of the plan. Nil runs fault-free. Fault
+	// runs imply FairYield.
+	Faults *FaultPlan
+	// FairYield makes every worker yield the processor after each
+	// iteration. Hogwild throughput runs never want this, but robustness
+	// experiments do: on hosts with fewer cores than workers the Go
+	// scheduler can let one worker claim the whole iteration budget
+	// before its peers ever run, which starves planned crash points and
+	// Byzantine workers of their share. The yield costs throughput, never
+	// changes convergence semantics, and is implied by Faults.
+	FairYield bool
 	// Stripes sets the lock-table size for Mode ShardedLock
 	// (0 ⇒ min(d, DefaultStripes)). Ignored when Strategy is set.
 	Stripes int
@@ -223,10 +244,28 @@ type Result struct {
 	// is on; otherwise it is the max probe value (SampleStaleness).
 	MaxStaleness int
 	AvgStaleness float64 // mean probe value (SampleStaleness)
+	// Crashed / Rejoined count the fault plan's executed crashes and
+	// replacement workers; RecoveredTickets counts orphaned gate tickets
+	// the supervisor tombstoned on behalf of in-flight victims
+	// (FaultPlan.Recover). All zero on fault-free runs.
+	Crashed          int
+	Rejoined         int
+	RecoveredTickets int
 }
 
 // ErrBadConfig reports invalid parameters.
 var ErrBadConfig = errors.New("hogwild: invalid configuration")
+
+// ErrStrategyBusy reports a Config.Strategy value that is currently bound
+// by another run: strategies carry run-wide gate state, so concurrent
+// sharing silently corrupts both runs. Sequential reuse (Bind
+// re-initializes) is allowed.
+var ErrStrategyBusy = errors.New("hogwild: Strategy is already bound by a concurrent Run")
+
+// activeStrategies tracks Strategy values currently inside a Run, keyed
+// by the strategy value itself (all built-in strategies are pointers, so
+// identity is well-defined).
+var activeStrategies sync.Map
 
 // Run executes the configured parallel SGD to completion and reports
 // timing, work and staleness statistics.
@@ -259,6 +298,23 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 
+	plan := cfg.Faults
+	if plan != nil && len(plan.Faults) == 0 {
+		plan = nil
+	}
+	if plan != nil {
+		if err := plan.validate(cfg.Workers); err != nil {
+			return nil, err
+		}
+	}
+
+	// A Strategy owns run-wide gate state; two concurrent runs sharing one
+	// value would silently corrupt each other. Claim it for the run.
+	if _, loaded := activeStrategies.LoadOrStore(strat, true); loaded {
+		return nil, fmt.Errorf("%w: %s", ErrStrategyBusy, strat.Name())
+	}
+	defer activeStrategies.Delete(strat)
+
 	model := atomicfloat.New(d, modelLayout(&cfg, d))
 	model.StoreAll(x0)
 	if err := strat.Bind(model, cfg.Alpha); err != nil {
@@ -267,13 +323,31 @@ func Run(cfg Config) (*Result, error) {
 
 	// Build every stepper before launching so a capability mismatch
 	// (e.g. sparse strategy over a dense-only oracle) fails fast.
-	steppers := make([]Stepper, cfg.Workers)
-	for w := 0; w < cfg.Workers; w++ {
+	// Replacement workers' steppers are built here too: the gated
+	// disciplines' slot registration is not thread-safe, so everything
+	// registers before any worker starts.
+	rejoins := 0
+	if plan != nil {
+		rejoins = plan.rejoins()
+	}
+	steppers := make([]Stepper, cfg.Workers+rejoins)
+	for w := range steppers {
 		st, err := strat.NewStepper(w, cfg.Oracle.CloneFor(w), rng.NewStream(cfg.Seed, uint64(w)+1))
 		if err != nil {
 			return nil, fmt.Errorf("worker %d: %w", w, err)
 		}
 		steppers[w] = st
+	}
+	if plan != nil && !plan.Recover {
+		for _, f := range plan.Faults {
+			if !f.InFlight {
+				continue
+			}
+			if _, ok := steppers[f.Worker].(TicketAbandoner); ok {
+				return nil, fmt.Errorf("%w: an InFlight crash under the %s gate without FaultPlan.Recover pins the low-water mark and deadlocks every survivor (the stripedWindow regression test demonstrates it); set Recover",
+					ErrBadConfig, strat.Name())
+			}
+		}
 	}
 
 	var (
@@ -302,64 +376,128 @@ func Run(cfg Config) (*Result, error) {
 		return s
 	}
 
+	yield := cfg.FairYield || plan != nil
+
+	// runWorker is the worker body shared by originals and replacements.
+	// It returns true when the worker died by its planned fault. Exits of
+	// every kind retire the worker from round-membership strategies
+	// (Leaver), so a barrier-shaped discipline never waits on the gone.
+	runWorker := func(st Stepper, slot *atomic.Int64, fault *WorkerFault) (crashed bool) {
+		if cfg.PinWorkers {
+			runtime.LockOSThread()
+			defer runtime.UnlockOSThread()
+		}
+		if j, ok := st.(Joiner); ok {
+			j.Join()
+		}
+		var ops int64
+		steps := 0
+		defer func() {
+			if slot != nil {
+				slot.Store(ops)
+			} else {
+				coordOps.Add(ops)
+			}
+			if l, ok := st.(Leaver); ok {
+				l.Leave()
+			}
+		}()
+		// die executes the planned crash: InFlight victims first acquire a
+		// gate ticket and keep it — the state a mid-flight crash leaves a
+		// window-gated discipline in. A crashed worker never flushes
+		// buffered updates: they die with it.
+		die := func() bool {
+			if fault.InFlight {
+				if a, ok := st.(TicketAbandoner); ok {
+					a.AbandonTicket()
+				}
+			}
+			return true
+		}
+		for {
+			if fault != nil && steps >= fault.AfterIters {
+				// The planned death, before the next claim — a crashed
+				// worker never leaves a claimed-but-uncompleted global
+				// iteration behind.
+				return die()
+			}
+			claimed := counter.Add(1) - 1
+			if claimed >= total {
+				if fault != nil {
+					// The run completed before the victim's planned
+					// iteration arrived; the plan still owes the crash, so
+					// the victim dies at its exit point instead — survivor
+					// counts are a function of the plan, not of how the
+					// scheduler happened to share the iteration budget.
+					return die()
+				}
+				// Disciplines that buffer updates locally flush their
+				// final partial batch before the worker leaves.
+				if f, ok := st.(Flusher); ok {
+					ops += int64(f.Flush())
+				}
+				return false
+			}
+			ops += int64(st.Step())
+			steps++
+			done.Add(1)
+			if slot != nil {
+				slot.Store(ops)
+			}
+			if cfg.SampleStaleness {
+				// Claims past the budget are workers exiting, not SGD
+				// iterations; capping at the budget keeps the probe a
+				// count of concurrent iterations only.
+				cur := counter.Load()
+				if cur > total {
+					cur = total
+				}
+				span := cur - claimed - 1
+				if span < 0 {
+					span = 0
+				}
+				staleSum.Add(span)
+				staleN.Add(1)
+				for {
+					m := staleMax.Load()
+					if span <= m || staleMax.CompareAndSwap(m, span) {
+						break
+					}
+				}
+			}
+			if yield {
+				runtime.Gosched()
+			}
+		}
+	}
+
+	type workerExit struct {
+		crashed bool
+		st      Stepper
+		fault   *WorkerFault
+	}
 	var wg sync.WaitGroup
+	var exits chan workerExit
+	if plan != nil {
+		exits = make(chan workerExit, len(steppers))
+	}
 	start := time.Now()
 	for w := 0; w < cfg.Workers; w++ {
-		wg.Add(1)
 		var slot *atomic.Int64
 		if progress != nil {
 			slot = &progress[w].ops
 		}
-		go func(st Stepper, slot *atomic.Int64) {
-			defer wg.Done()
-			if cfg.PinWorkers {
-				runtime.LockOSThread()
-				defer runtime.UnlockOSThread()
-			}
-			var ops int64
-			for {
-				claimed := counter.Add(1) - 1
-				if claimed >= total {
-					// Disciplines that buffer updates locally flush their
-					// final partial batch before the worker leaves.
-					if f, ok := st.(Flusher); ok {
-						ops += int64(f.Flush())
-					}
-					if slot != nil {
-						slot.Store(ops)
-					} else {
-						coordOps.Add(ops)
-					}
-					return
-				}
-				ops += int64(st.Step())
-				done.Add(1)
-				if slot != nil {
-					slot.Store(ops)
-				}
-				if cfg.SampleStaleness {
-					// Claims past the budget are workers exiting, not SGD
-					// iterations; capping at the budget keeps the probe a
-					// count of concurrent iterations only.
-					cur := counter.Load()
-					if cur > total {
-						cur = total
-					}
-					span := cur - claimed - 1
-					if span < 0 {
-						span = 0
-					}
-					staleSum.Add(span)
-					staleN.Add(1)
-					for {
-						m := staleMax.Load()
-						if span <= m || staleMax.CompareAndSwap(m, span) {
-							break
-						}
-					}
-				}
-			}
-		}(steppers[w], slot)
+		if plan == nil {
+			wg.Add(1)
+			go func(st Stepper, slot *atomic.Int64) {
+				defer wg.Done()
+				runWorker(st, slot, nil)
+			}(steppers[w], slot)
+			continue
+		}
+		go func(st Stepper, slot *atomic.Int64, fault *WorkerFault) {
+			exits <- workerExit{crashed: runWorker(st, slot, fault), st: st, fault: fault}
+		}(steppers[w], slot, plan.faultFor(w))
 	}
 
 	// The sampler owns every OnTelemetry call: periodic snapshots while
@@ -405,7 +543,52 @@ func Run(cfg Config) (*Result, error) {
 		}()
 	}
 
-	wg.Wait()
+	var crashedN, rejoinedN, recoveredN int
+	if plan == nil {
+		wg.Wait()
+	} else {
+		// The supervisor: one exit message per worker, original or
+		// replacement. Crashed in-flight victims get their orphaned
+		// tickets reclaimed here (never from the dead goroutine), which
+		// is what unblocks any peer spinning at the gate — including a
+		// second victim still inside its own AbandonTicket.
+		remaining := cfg.Workers
+		next := cfg.Workers // index of the next unused replacement stepper
+		for remaining > 0 {
+			ex := <-exits
+			remaining--
+			if !ex.crashed {
+				continue
+			}
+			crashedN++
+			if ex.fault != nil && ex.fault.InFlight && plan.Recover {
+				if rec, ok := ex.st.(TicketReclaimer); ok {
+					rec.ReclaimTicket()
+					recoveredN++
+				}
+			}
+			if ex.fault != nil && ex.fault.Rejoin && next < len(steppers) {
+				target := done.Load() + int64(ex.fault.RejoinAfter)
+				if target > total {
+					target = total
+				}
+				st := steppers[next]
+				next++
+				remaining++
+				rejoinedN++
+				go func(st Stepper, target int64) {
+					// The rejoin delay: wait until the survivors have
+					// pushed global progress past the target. At least one
+					// fault-free worker exists (plan validation), so the
+					// target ≤ total is always reached.
+					for done.Load() < target {
+						runtime.Gosched()
+					}
+					exits <- workerExit{crashed: runWorker(st, nil, nil), st: st}
+				}(st, target)
+			}
+		}
+	}
 	elapsed := time.Since(start)
 	if samplerDone != nil {
 		close(stopSampler)
@@ -416,11 +599,14 @@ func Run(cfg Config) (*Result, error) {
 	final := vec.NewDense(d)
 	model.Snapshot(final)
 	res := &Result{
-		Final:    final,
-		Iters:    int(done.Load()),
-		Strategy: strat.Name(),
-		Elapsed:  elapsed,
-		CoordOps: coordOps.Load() + sumProgress(),
+		Final:            final,
+		Iters:            int(done.Load()),
+		Strategy:         strat.Name(),
+		Elapsed:          elapsed,
+		CoordOps:         coordOps.Load() + sumProgress(),
+		Crashed:          crashedN,
+		Rejoined:         rejoinedN,
+		RecoveredTickets: recoveredN,
 	}
 	if secs := elapsed.Seconds(); secs > 0 {
 		res.UpdatesPerSec = float64(res.Iters) / secs

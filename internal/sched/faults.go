@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"asyncsgd/internal/contention"
+	"asyncsgd/internal/shm"
+)
+
+// CrashPoint selects where inside an SGD iteration the Faulty adversary
+// kills a thread. The points are recognized from the victim's *pending*
+// operation, which the machine discards on crash — so the kill always
+// lands before that operation executes.
+type CrashPoint uint8
+
+const (
+	// CrashAtBoundary kills the victim while its pending operation is the
+	// iteration-claiming fetch&add: the claim is never taken, so the
+	// thread dies holding nothing. The benign crash point — gated runs
+	// need no recovery from it.
+	CrashAtBoundary CrashPoint = iota
+	// CrashAtGate kills the victim while it waits at a gated discipline's
+	// entry or publish read. Under bounded staleness / epoch fencing the
+	// victim has already announced a claim it will never publish: without
+	// core.EpochConfig.CrashRecovery the done counter sticks and every
+	// survivor deadlocks at the gate.
+	CrashAtGate
+	// CrashHoldingTicket kills the victim while its pending operation is
+	// a model update fetch&add — mid-flight, view taken, ticket claimed
+	// and unpublished, updates partially applied. The worst case the
+	// ticket-reclamation protocol exists for.
+	CrashHoldingTicket
+)
+
+// String returns the crash-point name.
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashAtBoundary:
+		return "boundary"
+	case CrashAtGate:
+		return "gate"
+	case CrashHoldingTicket:
+		return "ticket"
+	default:
+		return "CrashPoint(?)"
+	}
+}
+
+// ThreadCrash is one planned kill: crash Thread the first time its
+// pending operation matches Point with a local iteration ≥ AfterIters.
+type ThreadCrash struct {
+	Thread     int
+	AfterIters int
+	Point      CrashPoint
+}
+
+// Faulty is the crash/rejoin adversary: it schedules live threads
+// round-robin (fair, so results isolate the effect of the crashes) and
+// executes a deterministic crash plan against the thread programs'
+// contention tags. Rejoining is modeled with spare threads: the top
+// Spares thread ids are parked — never scheduled — until a crash fires,
+// whereupon the lowest parked spare is activated RejoinDelay machine
+// steps later. A spare is an ordinary worker program (the machine needs
+// no notion of restart); activating one is exactly a replacement worker
+// joining the computation.
+//
+// The plan is fully deterministic: no randomness, every decision a
+// function of the machine view, so fault sweeps stay bit-reproducible.
+type Faulty struct {
+	Crashes     []ThreadCrash
+	Spares      int // count of top thread ids parked as replacements
+	RejoinDelay int // steps between a crash firing and a spare activating
+
+	init       bool
+	fired      []bool
+	parked     []bool
+	activateAt []int // machine time at which parked spare i unparks; -1 = unscheduled
+	last       int
+}
+
+var _ shm.Policy = (*Faulty)(nil)
+
+// Next implements shm.Policy.
+func (p *Faulty) Next(v *shm.View) shm.Decision {
+	n := v.NumThreads()
+	if !p.init {
+		p.init = true
+		p.fired = make([]bool, len(p.Crashes))
+		p.parked = make([]bool, n)
+		p.activateAt = make([]int, n)
+		for i := range p.activateAt {
+			p.activateAt[i] = -1
+		}
+		for k := 0; k < p.Spares && k < n; k++ {
+			p.parked[n-1-k] = true
+		}
+	}
+	now := v.Time()
+
+	// Activate spares whose rejoin delay has elapsed.
+	for i := 0; i < n; i++ {
+		if p.parked[i] && p.activateAt[i] >= 0 && now >= p.activateAt[i] {
+			p.parked[i] = false
+		}
+	}
+
+	// Fire due crashes. Never crash the last live thread (the model
+	// forbids crashing all n) and never a parked spare.
+	var crash []int
+	for k, c := range p.Crashes {
+		if p.fired[k] || c.Thread < 0 || c.Thread >= n ||
+			!v.Live(c.Thread) || p.parked[c.Thread] {
+			continue
+		}
+		if v.LiveCount()-len(crash) <= 1 {
+			continue
+		}
+		tag, ok := tagOf(v, c.Thread)
+		if !ok || tag.Iter < c.AfterIters || !p.pointMatches(v, c.Thread, tag, c.Point) {
+			continue
+		}
+		p.fired[k] = true
+		crash = append(crash, c.Thread)
+		// Schedule the lowest unscheduled parked spare as the replacement.
+		for i := 0; i < n; i++ {
+			if p.parked[i] && p.activateAt[i] < 0 {
+				p.activateAt[i] = now + p.RejoinDelay
+				if p.RejoinDelay == 0 {
+					p.parked[i] = false
+				}
+				break
+			}
+		}
+	}
+
+	crashing := func(tid int) bool {
+		for _, c := range crash {
+			if c == tid {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Round-robin over live, unparked, not-being-crashed threads.
+	for k := 1; k <= n; k++ {
+		i := (p.last + k) % n
+		if v.Live(i) && !p.parked[i] && !crashing(i) {
+			p.last = i
+			return shm.Decision{Thread: i, Crash: crash}
+		}
+	}
+	// Liveness fallback: everything schedulable is parked — unpark the
+	// earliest spare rather than stall the machine.
+	for i := 0; i < n; i++ {
+		if v.Live(i) && p.parked[i] && !crashing(i) {
+			p.parked[i] = false
+			p.last = i
+			return shm.Decision{Thread: i, Crash: crash}
+		}
+	}
+	return shm.Decision{Thread: -1, Crash: crash}
+}
+
+// pointMatches reports whether thread tid's pending operation is at the
+// given crash point.
+func (p *Faulty) pointMatches(v *shm.View, tid int, tag contention.Tag, pt CrashPoint) bool {
+	req, ok := v.Pending(tid)
+	if !ok {
+		return false
+	}
+	switch pt {
+	case CrashAtBoundary:
+		return tag.Role == contention.RoleCounter
+	case CrashAtGate:
+		// Only the spin *reads* — never the announce write, whose loss
+		// would open the documented unrecoverable window (a claim taken
+		// but not yet announced).
+		return tag.Role == contention.RoleGate && req.Kind == shm.OpRead
+	case CrashHoldingTicket:
+		return tag.Role == contention.RoleUpdate
+	default:
+		return false
+	}
+}

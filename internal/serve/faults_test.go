@@ -1,0 +1,104 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestFaultAxisRequestValidation(t *testing.T) {
+	bad := map[string]SweepRequest{
+		"bad faults label":    {Faults: []string{"crash/x"}},
+		"bad byzantine label": {Byzantine: []string{"flip/1"}},
+		"bad defense label":   {Defenses: []string{"armor"}},
+		"median on machine":   {Runtime: "machine", Defenses: []string{"median"}},
+		"median on both":      {Runtime: "both", Defenses: []string{"median"}},
+	}
+	for name, req := range bad {
+		if _, err := req.Normalized(); !errors.Is(err, ErrBadRequest) {
+			t.Errorf("%s: err = %v, want ErrBadRequest", name, err)
+		}
+	}
+	if _, err := (SweepRequest{Runtime: "hogwild", Defenses: []string{"median"}}).Normalized(); err != nil {
+		t.Errorf("median on hogwild rejected: %v", err)
+	}
+	norm, err := SweepRequest{}.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(norm.Faults) != 1 || norm.Faults[0] != "none" ||
+		len(norm.Byzantine) != 1 || len(norm.Defenses) != 1 {
+		t.Fatalf("robustness axis defaults not applied: %+v", norm)
+	}
+}
+
+// TestFaultAxesFlowIntoCacheKey: arming a robustness axis reshapes the
+// expanded grid (the labels fold into the cell seeds), so the cache key
+// must change — while explicit neutral entries keep the old key.
+func TestFaultAxesFlowIntoCacheKey(t *testing.T) {
+	base, err := tinyRequest(3).Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	neutral := tinyRequest(3)
+	neutral.Faults = []string{"none"}
+	neutral.Byzantine = []string{"none"}
+	neutral.Defenses = []string{"none"}
+	k, err := neutral.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != base {
+		t.Fatalf("explicit neutral axes changed the cache key: %s vs %s", k, base)
+	}
+	for name, mutate := range map[string]func(*SweepRequest){
+		"faults":    func(q *SweepRequest) { q.Faults = []string{"ticket/1"} },
+		"byzantine": func(q *SweepRequest) { q.Byzantine = []string{"signflip/1"} },
+		"defense":   func(q *SweepRequest) { q.Defenses = []string{"clip/5"} },
+	} {
+		q := tinyRequest(3)
+		mutate(&q)
+		k, err := q.Key()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if k == base {
+			t.Errorf("arming the %s axis did not change the cache key", name)
+		}
+	}
+}
+
+// TestFaultSweepDocumentDeterministic: a fault-injected machine sweep
+// produces a byte-identical document across reruns modulo the timing
+// fields — the acceptance bar for the fault axes riding the serve cache
+// and the committed E19 table — and the document carries the recovery
+// counters.
+func TestFaultSweepDocumentDeterministic(t *testing.T) {
+	req := tinyRequest(19)
+	req.Workers = []int{3}
+	req.Faults = []string{"none", "ticket/1/rejoin"}
+	var docs [2]string
+	for i := range docs {
+		rep, err := RunRequest(context.Background(), req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.FailedCells() != 0 {
+			t.Fatalf("run %d: %d failed cells", i, rep.FailedCells())
+		}
+		var b strings.Builder
+		if err := rep.Encode(&b); err != nil {
+			t.Fatal(err)
+		}
+		docs[i] = b.String()
+	}
+	if stripTiming(docs[0]) != stripTiming(docs[1]) {
+		t.Fatalf("fault-sweep documents differ beyond timing fields:\n%s\n---\n%s", docs[0], docs[1])
+	}
+	for _, want := range []string{`"faults": "ticket/1/rejoin"`, `"crashed": 1`, `"recovered_tickets":`} {
+		if !strings.Contains(docs[0], want) {
+			t.Errorf("document missing %s", want)
+		}
+	}
+}

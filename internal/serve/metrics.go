@@ -32,6 +32,11 @@ type serverMetrics struct {
 	cellSeconds *metrics.Histogram
 	cacheHits   *metrics.Counter
 	cacheMisses *metrics.Counter
+	// cellFaults counts robustness events observed by completed cells,
+	// by kind (crashed, rejoined, recovered_tickets, stalled,
+	// corrupted_updates, clipped_updates). All zero unless a sweep arms
+	// the fault/byzantine/defense axes.
+	cellFaults *metrics.CounterVec
 	// subscribers is the number of currently open event streams.
 	subscribers *metrics.Gauge
 	// telemetrySamples counts "telemetry" events appended across jobs.
@@ -56,6 +61,9 @@ func newServerMetrics(s *Server) *serverMetrics {
 			"grid cells completed across all jobs"),
 		cellSeconds: reg.NewHistogram("asgdserve_cell_seconds",
 			"per-cell execution latency", metrics.DefBuckets),
+		cellFaults: reg.NewCounterVec("asgdserve_cells_faults_total",
+			"robustness events observed by completed cells, by kind (crashed, rejoined, recovered_tickets, stalled, corrupted_updates, clipped_updates)",
+			"kind"),
 		cacheHits: reg.NewCounter("asgdserve_cache_hits_total",
 			"submissions answered from the result cache"),
 		cacheMisses: reg.NewCounter("asgdserve_cache_misses_total",

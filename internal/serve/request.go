@@ -79,6 +79,17 @@ type SweepRequest struct {
 	// so it is deliberately excluded from the cache key: a pinned and an
 	// unpinned request for the same machine grid share cached results.
 	Pin bool `json:"pin_workers,omitempty"`
+	// Faults is the crash/rejoin fault axis: sweep.ParseFaults labels
+	// ("none", "crash/1", "ticket/1/rejoin", …; default ["none"]).
+	Faults []string `json:"faults,omitempty"`
+	// Byzantine is the gradient-corruption axis: sweep.ParseByzantine
+	// labels ("none", "signflip/1", "scale/2", "nan/1"; default ["none"]).
+	Byzantine []string `json:"byzantine,omitempty"`
+	// Defenses is the defense axis: sweep.ParseDefense labels ("none",
+	// "clip/5", "median"; default ["none"]). "median" replaces the cell
+	// strategy with the hogwild coordinate-median aggregator and is only
+	// accepted when Runtime is "hogwild".
+	Defenses []string `json:"defenses,omitempty"`
 	// TelemetryMS opts the job into live "telemetry" events on its event
 	// stream: every running hogwild cell is sampled at this period (in
 	// milliseconds) and the snapshots interleave with "cell" events. 0
@@ -162,6 +173,37 @@ func (q SweepRequest) Normalized() (SweepRequest, error) {
 	if q.TelemetryMS < 0 {
 		return q, fmt.Errorf("%w: telemetry_ms %d (want ≥ 0)", ErrBadRequest, q.TelemetryMS)
 	}
+	if len(q.Faults) == 0 {
+		q.Faults = []string{"none"}
+	}
+	if len(q.Byzantine) == 0 {
+		q.Byzantine = []string{"none"}
+	}
+	if len(q.Defenses) == 0 {
+		q.Defenses = []string{"none"}
+	}
+	for _, label := range q.Faults {
+		if _, err := sweep.ParseFaults(label); err != nil {
+			return q, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	for _, label := range q.Byzantine {
+		if _, err := sweep.ParseByzantine(label); err != nil {
+			return q, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+	}
+	for _, label := range q.Defenses {
+		d, err := sweep.ParseDefense(label)
+		if err != nil {
+			return q, fmt.Errorf("%w: %v", ErrBadRequest, err)
+		}
+		// Coordinate-median aggregation is a round-membership barrier; it
+		// has no machine implementation, so a request whose machine leg
+		// would fail every median cell is rejected up front.
+		if d.Median && q.Runtime != "hogwild" {
+			return q, fmt.Errorf("%w: defense %q requires runtime \"hogwild\" (got %q)", ErrBadRequest, label, q.Runtime)
+		}
+	}
 	return q, nil
 }
 
@@ -198,6 +240,9 @@ func (q SweepRequest) Specs() ([]sweep.Spec, error) {
 			Seed:       *q.Seed,
 			Adversary:  *q.Adversary,
 			Pin:        q.Pin,
+			Faults:     q.Faults,
+			Byzantine:  q.Byzantine,
+			Defenses:   q.Defenses,
 		})
 		if err != nil {
 			return nil, err

@@ -293,6 +293,17 @@ func (s *Server) runJob(j *Job) {
 		j.appendCell(r)
 		s.met.cells.Inc()
 		s.met.cellSeconds.Observe(r.Seconds)
+		fault := func(kind string, n int64) {
+			if n > 0 {
+				s.met.cellFaults.With(kind).Add(float64(n))
+			}
+		}
+		fault("crashed", int64(r.Crashed))
+		fault("rejoined", int64(r.Rejoined))
+		fault("recovered_tickets", r.RecoveredTickets)
+		fault("stalled", int64(r.Stalled))
+		fault("corrupted_updates", r.CorruptedUpdates)
+		fault("clipped_updates", r.ClippedUpdates)
 	}
 	onTelemetry := func(ts sweep.TelemetrySample) {
 		j.appendTelemetry(ts)

@@ -230,6 +230,14 @@ type Config struct {
 	OnStep   func(Step) // streaming step hook (contention tracker etc.)
 	Trace    bool       // record the full step log (memory-heavy)
 	InitMem  []float64  // optional initial register contents
+
+	// CrashFlagBase, when positive, designates a failure-detector region:
+	// the instant the adversary crashes thread i, the machine writes
+	// mem[CrashFlagBase+i] = 1 (bounds permitting). Survivor programs can
+	// read these registers to learn which peers are dead — the perfect
+	// failure detector the crash-recovery protocols in internal/core build
+	// on. Zero (the default) disables the region.
+	CrashFlagBase int
 }
 
 // RunStats summarizes a completed run.
@@ -446,6 +454,9 @@ func (m *Machine) applyCrashes(crash []int) error {
 		m.crashed[i] = true
 		m.numCrashed++
 		m.live--
+		if base := m.cfg.CrashFlagBase; base > 0 && base+i < len(m.mem) {
+			m.mem[base+i] = 1
+		}
 	}
 	return nil
 }

@@ -27,6 +27,18 @@ type PointStat struct {
 	// MaxStaleness is the largest observed staleness of any replicate
 	// (−1 when no replicate measured it).
 	MaxStaleness int
+	// Diverged counts replicates whose final model produced a non-finite
+	// loss (their zeroed metrics are excluded from the Welford folds).
+	Diverged int
+	// Crashed, Rejoined, RecoveredTickets, Stalled, CorruptedUpdates and
+	// ClippedUpdates sum the robustness counters across replicates (all
+	// zero for sweeps that never arm the robustness axes).
+	Crashed          int
+	Rejoined         int
+	RecoveredTickets int64
+	Stalled          int
+	CorruptedUpdates int64
+	ClippedUpdates   int64
 }
 
 // Aggregate groups results by grid point, preserving first-seen (cell
@@ -36,11 +48,13 @@ func Aggregate(results []CellResult) []PointStat {
 		runtime, oracle, strategy string
 		workers, dim              int
 		alpha                     float64
+		faults, byz, defense      string
 	}
 	index := make(map[key]int)
 	var out []PointStat
 	for _, r := range results {
-		k := key{r.Runtime, r.Oracle, r.Strategy, r.Workers, r.Dim, r.Alpha}
+		k := key{r.Runtime, r.Oracle, r.Strategy, r.Workers, r.Dim, r.Alpha,
+			r.Faults, r.Byzantine, r.Defense}
 		i, ok := index[k]
 		if !ok {
 			i = len(out)
@@ -56,16 +70,74 @@ func Aggregate(results []CellResult) []PointStat {
 			continue
 		}
 		p.N++
-		p.Loss.Add(r.FinalLoss)
-		p.Dist2.Add(r.FinalDist2)
+		if r.Diverged {
+			// The zeros under Diverged are sanitized non-finites, not
+			// measurements — folding them in would read as convergence.
+			p.Diverged++
+		} else {
+			p.Loss.Add(r.FinalLoss)
+			p.Dist2.Add(r.FinalDist2)
+		}
 		if r.Iters > 0 {
 			p.OpsPerIter.Add(float64(r.CoordOps) / float64(r.Iters))
 		}
 		if r.MaxStaleness > p.MaxStaleness {
 			p.MaxStaleness = r.MaxStaleness
 		}
+		p.Crashed += r.Crashed
+		p.Rejoined += r.Rejoined
+		p.RecoveredTickets += r.RecoveredTickets
+		p.Stalled += r.Stalled
+		p.CorruptedUpdates += r.CorruptedUpdates
+		p.ClippedUpdates += r.ClippedUpdates
 	}
 	return out
+}
+
+// FaultTable renders aggregated robustness-sweep statistics: one row per
+// grid point with the fault/byzantine/defense coordinates, the survivor
+// arithmetic (crashed / rejoined / recovered tickets / stalled threads),
+// the corruption and defense meters, and the cross-replicate loss next
+// to the staleness-bound check. Empty axis labels print as "none".
+func FaultTable(title string, stats []PointStat) *report.Table {
+	t := report.New(title,
+		"runtime", "strategy", "workers", "faults", "byzantine", "defense", "reps",
+		"crashed", "rejoined", "recovered", "stalled", "corrupted", "clipped",
+		"loss_mean", "diverged", "stale_max", "bound_holds")
+	name := func(s string) string {
+		if s == "" {
+			return "none"
+		}
+		return s
+	}
+	for i := range stats {
+		p := &stats[i]
+		stale, holds := "-", "-"
+		if p.MaxStaleness >= 0 {
+			stale = report.In(p.MaxStaleness)
+			if p.Cell.Tau > 0 {
+				if p.MaxStaleness <= p.Cell.Tau {
+					holds = "YES"
+				} else {
+					holds = "NO"
+				}
+			}
+		}
+		reps := report.In(p.N)
+		if p.Errs > 0 {
+			reps += "!" + report.In(p.Errs)
+		}
+		loss := report.Fl(p.Loss.Mean())
+		if p.Diverged == p.N {
+			loss = "-"
+		}
+		t.AddRow(p.Cell.Runtime, p.Cell.Strategy, report.In(p.Cell.Workers),
+			name(p.Cell.Faults), name(p.Cell.Byzantine), name(p.Cell.Defense), reps,
+			report.In(p.Crashed), report.In(p.Rejoined), report.In(int(p.RecoveredTickets)),
+			report.In(p.Stalled), report.In(int(p.CorruptedUpdates)), report.In(int(p.ClippedUpdates)),
+			loss, report.In(p.Diverged), stale, holds)
+	}
+	return t
 }
 
 // Table renders aggregated point statistics as the standard fixed-width

@@ -3,6 +3,7 @@ package sweep
 import (
 	"context"
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
 	"time"
@@ -190,13 +191,46 @@ func runCellSafe(s *Spec, c Cell) (res CellResult) {
 // result rather than aborting the sweep: one bad grid point (say, a
 // sparse strategy crossed with a dense-only oracle) should not cost the
 // other 99 cells their work.
-func runCell(s *Spec, c Cell) CellResult {
-	res := CellResult{Cell: c, MaxStaleness: -1}
+func runCell(s *Spec, c Cell) (res CellResult) {
+	res = CellResult{Cell: c, MaxStaleness: -1}
 	oracle, x0, err := c.oracle.Make(c.Dim, rng.NewStream(c.Seed, oracleStream))
 	if err != nil {
 		res.Err = fmt.Sprintf("oracle %s: %v", c.Oracle, err)
 		return res
 	}
+	// Robustness-axis oracle wrapping: the Byzantine corruption wraps the
+	// honest oracle and the clip defense wraps the corruption, so the
+	// defender sees what the adversary emitted, not the clean gradient.
+	var (
+		corrMeter grad.CorruptionMeter
+		clipMeter grad.ClipMeter
+	)
+	if !c.byz.none() {
+		oracle, err = c.byz.wrap(oracle, c.Workers, rng.NewStream(c.Seed, byzStream).Uint64())
+		if err != nil {
+			res.Err = fmt.Sprintf("byzantine %s: %v", c.Byzantine, err)
+			return res
+		}
+		corrMeter, _ = oracle.(grad.CorruptionMeter)
+	}
+	if c.defense != nil && c.defense.ClipLimit > 0 {
+		oracle, err = grad.NewNormClip(oracle, c.defense.ClipLimit)
+		if err != nil {
+			res.Err = fmt.Sprintf("defense %s: %v", c.Defense, err)
+			return res
+		}
+		clipMeter, _ = oracle.(grad.ClipMeter)
+	}
+	defer func() {
+		// The meters are shared across every worker clone, so the wrapper
+		// handles read run totals.
+		if corrMeter != nil {
+			res.CorruptedUpdates = corrMeter.CorruptedUpdates()
+		}
+		if clipMeter != nil {
+			res.ClippedUpdates = clipMeter.ClippedUpdates()
+		}
+	}()
 	start := time.Now()
 	switch c.runtime {
 	case Hogwild:
@@ -204,7 +238,12 @@ func runCell(s *Spec, c Cell) CellResult {
 			res.Err = fmt.Sprintf("strategy %s has no real-thread implementation", c.Strategy)
 			return res
 		}
-		strat := c.strategy.Hogwild()
+		var strat hogwild.Strategy
+		if c.defense != nil && c.defense.Median {
+			strat = hogwild.NewMedianAggregate()
+		} else {
+			strat = c.strategy.Hogwild()
+		}
 		cfg := hogwild.Config{
 			Workers:         c.Workers,
 			TotalIters:      s.Iters,
@@ -217,6 +256,15 @@ func runCell(s *Spec, c Cell) CellResult {
 			X0:              x0,
 			SampleStaleness: s.Probe,
 		}
+		if !c.faults.none() {
+			cfg.Faults = c.faults.hogwildPlan(c.Workers, rng.NewStream(c.Seed, faultStream))
+		}
+		// Robustness cells trade throughput for scheduling fairness: on
+		// hosts with fewer cores than workers, one worker could otherwise
+		// swallow the whole iteration budget before the planned victims or
+		// the Byzantine roster ever run.
+		cfg.FairYield = !c.faults.none() || !c.byz.none() ||
+			(c.defense != nil && !c.defense.none())
 		if s.OnTelemetry != nil {
 			emit := s.OnTelemetry
 			cell := c
@@ -244,10 +292,17 @@ func runCell(s *Spec, c Cell) CellResult {
 		if _, gauged := strat.(hogwild.StalenessBounded); gauged || s.Probe {
 			res.MaxStaleness = out.MaxStaleness
 		}
+		res.Crashed = out.Crashed
+		res.Rejoined = out.Rejoined
+		res.RecoveredTickets = int64(out.RecoveredTickets)
 		res.fill(oracle, out.Final, time.Since(start))
 	case Machine:
 		if c.strategy.Machine == nil {
 			res.Err = fmt.Sprintf("strategy %s has no machine implementation", c.Strategy)
+			return res
+		}
+		if c.defense != nil && c.defense.Median {
+			res.Err = fmt.Sprintf("defense %s has no machine implementation (a round-membership barrier has no meaning under one-op-at-a-time scheduling)", c.Defense)
 			return res
 		}
 		cfg := core.EpochConfig{
@@ -264,6 +319,16 @@ func runCell(s *Spec, c Cell) CellResult {
 		} else {
 			cfg.Policy = &sched.RoundRobin{}
 		}
+		// An armed fault axis replaces the cell's scheduling policy with
+		// the crash adversary and arms gate-ticket recovery; replacement
+		// threads join as parked spares above the original worker ids.
+		if !c.faults.none() {
+			if faulty, spares := c.faults.machineFaulty(c.Workers, rng.NewStream(c.Seed, faultStream)); faulty != nil {
+				cfg.Policy = faulty
+				cfg.Threads = c.Workers + spares
+				cfg.CrashRecovery = true
+			}
+		}
 		c.strategy.Machine(&cfg)
 		out, err := core.RunEpoch(cfg)
 		if err != nil {
@@ -273,6 +338,13 @@ func runCell(s *Spec, c Cell) CellResult {
 		res.Iters = out.Tracker.Completed()
 		res.CoordOps = out.CoordOps
 		res.MaxStaleness = out.Tracker.MaxAdmissionsDuring()
+		res.Crashed = out.Stats.Crashed
+		res.Stalled = out.Stats.Stalled
+		res.RecoveredTickets = out.RecoveredTickets
+		if c.faults != nil && c.faults.Rejoin {
+			// Each fired crash activates one parked spare.
+			res.Rejoined = out.Stats.Crashed
+		}
 		res.fill(oracle, out.FinalX, time.Since(start))
 	default:
 		res.Err = fmt.Sprintf("unknown runtime %v", c.runtime)
@@ -284,17 +356,28 @@ func runCell(s *Spec, c Cell) CellResult {
 func (r *CellResult) fill(oracle grad.Oracle, final vec.Dense, elapsed time.Duration) {
 	opt := oracle.Optimum()
 	if d2, err := vec.Dist2Sq(final, opt); err == nil {
-		r.FinalDist2 = d2
+		if math.IsNaN(d2) || math.IsInf(d2, 0) {
+			r.Diverged = true
+		} else {
+			r.FinalDist2 = d2
+		}
 	}
 	// The optimality gap is mathematically ≥ 0, but floating-point
 	// evaluation near the optimum can produce a tiny negative value.
 	// Clamp to zero and flag it rather than silently dropping the field:
 	// a clamped gap means "converged to within float error", which is a
-	// different statement from "gap not computed".
-	if gap := oracle.Value(final) - oracle.Value(opt); gap > 0 {
+	// different statement from "gap not computed". A non-finite gap — a
+	// diverged or NaN-poisoned model — is zeroed under the Diverged flag
+	// instead: NaN/Inf would make the whole result document unencodable
+	// (encoding/json rejects them), and a silent 0 would read as
+	// convergence.
+	gap := oracle.Value(final) - oracle.Value(opt)
+	switch {
+	case math.IsNaN(gap) || math.IsInf(gap, 0):
+		r.Diverged = true
+	case gap > 0:
 		r.FinalLoss = gap
-	} else {
-		r.FinalLoss = 0
+	default:
 		r.GapClamped = true
 	}
 	r.Seconds = elapsed.Seconds()

@@ -199,6 +199,12 @@ type Spec struct {
 	Dims []int
 	// Alphas is the step-size axis (required).
 	Alphas []float64
+	// Faults is the crash/rejoin fault axis (nil ⇒ {none}); see Faults.
+	Faults []Faults
+	// Byzantine is the gradient-corruption axis (nil ⇒ {none}).
+	Byzantine []Byzantine
+	// Defenses is the robust-aggregation defense axis (nil ⇒ {none}).
+	Defenses []Defense
 	// Replicates is the number of seed replicates per grid point (0 ⇒ 1).
 	Replicates int
 
@@ -274,12 +280,21 @@ type Cell struct {
 	Workers  int     `json:"workers"`
 	Dim      int     `json:"dim,omitempty"`
 	Alpha    float64 `json:"alpha"`
-	Rep      int     `json:"rep"`
-	Seed     uint64  `json:"seed"`
+	// Faults, Byzantine and Defense are the robustness-axis labels; empty
+	// means the neutral entry (fault-free, honest, undefended), so sweeps
+	// that never touch the robustness axes serialize exactly as before.
+	Faults    string `json:"faults,omitempty"`
+	Byzantine string `json:"byzantine,omitempty"`
+	Defense   string `json:"defense,omitempty"`
+	Rep       int    `json:"rep"`
+	Seed      uint64 `json:"seed"`
 
 	runtime  Runtime
 	oracle   *Oracle
 	strategy *Strategy
+	faults   *Faults
+	byz      *Byzantine
+	defense  *Defense
 }
 
 // CellResult is the outcome of one cell (the cell's coordinates are
@@ -302,6 +317,12 @@ type CellResult struct {
 	// was clamped to 0. Without the flag, "converged to the optimum" and
 	// "gap measurement degenerate" were indistinguishable zeros.
 	GapClamped bool `json:"gap_clamped,omitempty"`
+	// Diverged flags a cell whose final model produced a non-finite loss
+	// or distance (NaN or ±Inf — a runaway step size, or an undefended
+	// NaN/scale gradient attack). The non-finite values are zeroed so the
+	// result stays JSON-serializable; Diverged is the record that they
+	// were not real zeros.
+	Diverged bool `json:"diverged,omitempty"`
 	// MaxStaleness is the observed maximum staleness: the gated gauge
 	// (Hogwild) or the tracker's max admissions-during-flight (Machine);
 	// −1 when the cell does not measure it.
@@ -309,6 +330,22 @@ type CellResult struct {
 	// AvgStaleness is the probe's mean (Hogwild cells with Spec.Probe;
 	// 0 otherwise).
 	AvgStaleness float64 `json:"avg_staleness,omitempty"`
+	// Crashed, Rejoined and RecoveredTickets are the fault-axis outcome:
+	// workers the plan killed, replacements that joined, and orphaned gate
+	// tickets tombstoned by the recovery protocol (hogwild supervisor or
+	// machine survivors).
+	Crashed          int   `json:"crashed,omitempty"`
+	Rejoined         int   `json:"rejoined,omitempty"`
+	RecoveredTickets int64 `json:"recovered_tickets,omitempty"`
+	// Stalled counts machine threads still blocked when the simulator hit
+	// its step bound — a non-zero value under a ticket-crash fault with
+	// recovery disabled is the gate deadlock made visible.
+	Stalled int `json:"stalled,omitempty"`
+	// CorruptedUpdates and ClippedUpdates are the Byzantine/defense
+	// meters: gradients the corruption roster poisoned, and gradients the
+	// norm-clip defense modified.
+	CorruptedUpdates int64 `json:"corrupted_updates,omitempty"`
+	ClippedUpdates   int64 `json:"clipped_updates,omitempty"`
 	// Seconds and UpdatesPerSec are wall-clock timing — the only fields
 	// that legitimately differ between reruns.
 	Seconds       float64 `json:"seconds"`
@@ -366,31 +403,76 @@ func (s *Spec) Cells() ([]Cell, error) {
 			return nil, fmt.Errorf("%w: strategy axis entry %d needs a Name", ErrBadSpec, i)
 		}
 	}
+	faults := s.Faults
+	if len(faults) == 0 {
+		faults = []Faults{NoFaults()}
+	}
+	byzs := s.Byzantine
+	if len(byzs) == 0 {
+		byzs = []Byzantine{NoByzantine()}
+	}
+	defenses := s.Defenses
+	if len(defenses) == 0 {
+		defenses = []Defense{NoDefense()}
+	}
+	for i := range faults {
+		if faults[i].Name == "" || (!faults[i].none() && faults[i].Crashes < 1) {
+			return nil, fmt.Errorf("%w: fault axis entry %d needs a Name and, unless neutral, Crashes ≥ 1", ErrBadSpec, i)
+		}
+	}
+	for i := range byzs {
+		if byzs[i].Name == "" || (!byzs[i].none() && byzs[i].F < 1) {
+			return nil, fmt.Errorf("%w: byzantine axis entry %d needs a Name and, unless neutral, F ≥ 1", ErrBadSpec, i)
+		}
+	}
+	for i := range defenses {
+		if defenses[i].Name == "" {
+			return nil, fmt.Errorf("%w: defense axis entry %d needs a Name", ErrBadSpec, i)
+		}
+	}
 
-	cells := make([]Cell, 0, len(runtimes)*len(s.Oracles)*len(s.Strategies)*len(workers)*len(dims)*len(s.Alphas)*reps)
+	cells := make([]Cell, 0, len(runtimes)*len(s.Oracles)*len(s.Strategies)*len(workers)*len(dims)*len(s.Alphas)*len(faults)*len(byzs)*len(defenses)*reps)
 	for _, rt := range runtimes {
 		for oi := range s.Oracles {
 			for si := range s.Strategies {
 				for _, w := range workers {
 					for _, d := range dims {
 						for _, a := range s.Alphas {
-							for rep := 0; rep < reps; rep++ {
-								c := Cell{
-									Index:    len(cells),
-									Runtime:  rt.String(),
-									Oracle:   s.Oracles[oi].Name,
-									Strategy: s.Strategies[si].Name,
-									Tau:      s.Strategies[si].Tau,
-									Workers:  w,
-									Dim:      d,
-									Alpha:    a,
-									Rep:      rep,
-									runtime:  rt,
-									oracle:   &s.Oracles[oi],
-									strategy: &s.Strategies[si],
+							for fi := range faults {
+								for bi := range byzs {
+									for di := range defenses {
+										for rep := 0; rep < reps; rep++ {
+											c := Cell{
+												Index:    len(cells),
+												Runtime:  rt.String(),
+												Oracle:   s.Oracles[oi].Name,
+												Strategy: s.Strategies[si].Name,
+												Tau:      s.Strategies[si].Tau,
+												Workers:  w,
+												Dim:      d,
+												Alpha:    a,
+												Rep:      rep,
+												runtime:  rt,
+												oracle:   &s.Oracles[oi],
+												strategy: &s.Strategies[si],
+												faults:   &faults[fi],
+												byz:      &byzs[bi],
+												defense:  &defenses[di],
+											}
+											if !c.faults.none() {
+												c.Faults = c.faults.Name
+											}
+											if !c.byz.none() {
+												c.Byzantine = c.byz.Name
+											}
+											if !c.defense.none() {
+												c.Defense = c.defense.Name
+											}
+											c.Seed = cellSeed(s.Seed, c)
+											cells = append(cells, c)
+										}
+									}
 								}
-								c.Seed = cellSeed(s.Seed, c)
-								cells = append(cells, c)
 							}
 						}
 					}
@@ -414,6 +496,19 @@ func cellSeed(specSeed uint64, c Cell) uint64 {
 	h = fold(h, uint64(c.Workers))
 	h = fold(h, uint64(c.Dim))
 	h = fold(h, math.Float64bits(c.Alpha))
+	// The robustness axes fold in only when non-neutral, so arming them
+	// never reseeds the fault-free/honest cells a spec already had (the
+	// same extend-an-axis stability the other axes get from folding
+	// values, not positions).
+	if c.Faults != "" {
+		h = fold(h, hashString("faults:"+c.Faults))
+	}
+	if c.Byzantine != "" {
+		h = fold(h, hashString("byzantine:"+c.Byzantine))
+	}
+	if c.Defense != "" {
+		h = fold(h, hashString("defense:"+c.Defense))
+	}
 	h = fold(h, uint64(c.Rep))
 	return h
 }
@@ -437,4 +532,6 @@ func hashString(s string) uint64 {
 const (
 	oracleStream = uint64(1) << 32 // problem-instance construction
 	policyStream = uint64(1) << 33 // machine scheduling adversary
+	faultStream  = uint64(1) << 34 // fault-plan victim selection
+	byzStream    = uint64(1) << 35 // byzantine roster selection
 )
