@@ -253,6 +253,7 @@ type report struct {
 // /v1/jobs to verify FIFO completion order.
 func drive(base string, cfg harnessConfig) (*report, error) {
 	client := &http.Client{Timeout: 5 * time.Minute}
+	//asgdvet:allow nondet(load reports measure real wall time by design; only the seeded jitter path is deterministic)
 	start := time.Now()
 
 	var (
@@ -345,6 +346,7 @@ func drive(base string, cfg harnessConfig) (*report, error) {
 		Version: version.Version,
 		Addr:    base,
 		Config:  cfg,
+		//asgdvet:allow nondet(report duration field is documented wall-clock)
 		Seconds: time.Since(start).Seconds(),
 		Streams: stats,
 	}
@@ -382,11 +384,13 @@ const jitterStream = uint64(1) << 40
 func submitWithRetry(client *http.Client, base string, body []byte, jitter *rng.Rand) (id string, ms float64, tries, got429s int, err error) {
 	for {
 		tries++
+		//asgdvet:allow nondet(submit latency measurement is wall-clock by design)
 		t0 := time.Now()
 		resp, err := client.Post(base+"/v1/sweeps", "application/json", bytes.NewReader(body))
 		if err != nil {
 			return "", 0, tries, got429s, err
 		}
+		//asgdvet:allow nondet(submit latency measurement is wall-clock by design)
 		rt := time.Since(t0)
 		payload, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()

@@ -1,0 +1,63 @@
+// Command asgdvet runs the repo-invariant static analyzers of
+// internal/analysis over the module: determinism-contract hygiene
+// (nondet), atomic access discipline (atomicmix), hot-path allocation
+// freedom (hotalloc) and gate-ticket pairing (ticketpair).
+//
+// Usage:
+//
+//	asgdvet [package-dir ...]
+//
+// Package arguments are directories relative to the working directory;
+// a trailing /... walks the subtree. With no arguments it checks ./...
+// — the whole module. Diagnostics print go-vet style (file:line:col:
+// analyzer: message) and any finding makes the exit status 1; a load or
+// type-check failure exits 2. See DESIGN.md §9 for the invariants and
+// the //asgdvet annotation grammar.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"asyncsgd/internal/analysis"
+	"asyncsgd/internal/version"
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: asgdvet [package-dir ...]\n\nruns the asgdvet analyzer suite; defaults to ./...\n")
+		flag.PrintDefaults()
+	}
+	showVersion := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("asgdvet"))
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asgdvet: %v\n", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Vet(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "asgdvet: %v\n", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		if rel, err := filepath.Rel(cwd, d.Pos.Filename); err == nil && filepath.IsLocal(rel) {
+			d.Pos.Filename = rel
+		}
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		os.Exit(1)
+	}
+}

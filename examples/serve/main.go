@@ -170,7 +170,7 @@ func submit(base string, spec asyncsgd.SweepRequest) (asyncsgd.SweepJobStatus, e
 
 // result polls the job until done and returns the final document bytes.
 func result(base, id string) ([]byte, error) {
-	deadline := time.Now().Add(2 * time.Minute)
+	deadline := time.Now().Add(2 * time.Minute) //asgdvet:allow nondet(client poll deadline: a timeout, not document content)
 	for time.Now().Before(deadline) {
 		resp, err := http.Get(base + "/v1/sweeps/" + id + "/result")
 		if err != nil {

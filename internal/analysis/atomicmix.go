@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// AtomicMix enforces the shared-word access discipline behind the
+// Hogwild runtime: a word that is ever touched through sync/atomic must
+// be touched through sync/atomic everywhere. Mixing an atomic
+// fetch-and-add on one side with a plain load or store on the other is
+// a data race the happy path will never surface — exactly the class the
+// atomicfloat.Vector API exists to make impossible (all shared model
+// traffic goes through the Vector; nothing reaches its words directly).
+//
+// Mechanically: every variable or struct field whose address flows into
+// a sync/atomic call anywhere in the package is an "atomic word"; any
+// other read, write, or address-taking of the same object is flagged.
+// The typed wrappers (atomic.Int64, atomicfloat.Float64, ...) make the
+// discipline structural and are the recommended fix; initialization
+// races that are provably pre-publication can carry
+// //asgdvet:allow atomicmix(reason) instead.
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "flags words accessed both through sync/atomic and by plain load/store",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(p *Pass) {
+	info := p.Pkg.Info
+
+	// Pass 1: collect the atomic words — objects whose address is the
+	// first argument of a sync/atomic call — and remember every
+	// identifier that participates in such a call, so pass 2 can tell
+	// the atomic accesses from the plain ones.
+	atomicWords := make(map[*types.Var]token.Pos) // object -> first atomic site
+	inAtomicCall := make(map[*ast.Ident]bool)
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || len(call.Args) == 0 {
+				return true
+			}
+			// Only the package-level functions name a word by address
+			// (atomic.AddInt64(&x, ...)). Methods of the typed wrappers
+			// (atomic.Int64.CompareAndSwap, ...) take plain values, and
+			// the wrapper itself already makes mixing impossible.
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			obj, ids := addressedWord(info, call.Args[0])
+			if obj != nil {
+				if _, seen := atomicWords[obj]; !seen {
+					atomicWords[obj] = call.Pos()
+				}
+			}
+			for _, id := range ids {
+				inAtomicCall[id] = true
+			}
+			return true
+		})
+	}
+	if len(atomicWords) == 0 {
+		return
+	}
+
+	// Pass 2: any other use of an atomic word is a plain access. The
+	// object's own declaration (struct field, var spec) is not a use;
+	// identifiers consumed by pass 1 are the atomic accesses themselves.
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicCall[id] {
+				return true
+			}
+			obj, ok := info.Uses[id].(*types.Var)
+			if !ok {
+				return true
+			}
+			first, isAtomic := atomicWords[obj]
+			if !isAtomic {
+				return true
+			}
+			fp := p.Fset.Position(first)
+			p.Reportf(id.Pos(), "%s is accessed with sync/atomic (first at %s:%d) but plainly here; use atomic ops (or a typed atomic wrapper) everywhere",
+				obj.Name(), filepath.Base(fp.Filename), fp.Line)
+			return true
+		})
+	}
+}
+
+// addressedWord resolves the object behind an atomic call's address
+// argument — &x, &s.f, &a[i] (the slice/array object itself), or a
+// pointer-typed identifier — and returns every identifier naming that
+// object inside the argument, so the caller can mark them as the
+// sanctioned atomic access.
+func addressedWord(info *types.Info, arg ast.Expr) (*types.Var, []*ast.Ident) {
+	expr := ast.Unparen(arg)
+	if u, ok := expr.(*ast.UnaryExpr); ok && u.Op == token.AND {
+		expr = ast.Unparen(u.X)
+	}
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = ast.Unparen(e.X)
+		case *ast.SelectorExpr:
+			if v, ok := info.Uses[e.Sel].(*types.Var); ok {
+				return v, []*ast.Ident{e.Sel}
+			}
+			return nil, nil
+		case *ast.Ident:
+			if v, ok := info.Uses[e].(*types.Var); ok {
+				return v, []*ast.Ident{e}
+			}
+			return nil, nil
+		default:
+			return nil, nil
+		}
+	}
+}

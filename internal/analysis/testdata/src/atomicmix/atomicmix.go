@@ -1,0 +1,70 @@
+// Package atomicmix exercises the atomicmix analyzer: a word touched
+// through sync/atomic anywhere must be touched through sync/atomic
+// everywhere. Mixed fields and globals are positives; consistently
+// atomic words, unrelated plain variables and allow-annotated
+// pre-publication writes are negatives.
+package atomicmix
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	safe int64
+}
+
+// bump makes n an atomic word.
+func (c *counter) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+// read touches n plainly: finding.
+func (c *counter) read() int64 {
+	return c.n
+}
+
+// bumpSafe and readSafe keep safe consistently atomic: clean.
+func (c *counter) bumpSafe() {
+	atomic.AddInt64(&c.safe, 1)
+}
+
+func (c *counter) readSafe() int64 {
+	return atomic.LoadInt64(&c.safe)
+}
+
+var word int64
+
+// store makes the package-level word atomic.
+func store(v int64) {
+	atomic.StoreInt64(&word, v)
+}
+
+// load reads it plainly: finding.
+func load() int64 {
+	return word
+}
+
+type published struct {
+	state int64
+}
+
+// newPublished writes state plainly before the value escapes; the
+// annotation records why that is safe.
+func newPublished() *published {
+	p := &published{}
+	//asgdvet:allow atomicmix(pre-publication init; no other goroutine holds p yet)
+	p.state = 1
+	return p
+}
+
+// advance is the atomic side of state.
+func (p *published) advance() {
+	atomic.AddInt64(&p.state, 1)
+}
+
+// plain is never atomic anywhere: clean.
+var plain int64
+
+func usePlain() int64 {
+	plain++
+	return plain
+}

@@ -1,0 +1,25 @@
+// Package directives exercises the directive grammar itself: a
+// suppression that fails to parse or names no analyzer must surface as
+// a diagnostic, never silently do nothing.
+package directives
+
+// missingReason omits the mandatory parenthesized reason: finding.
+func missingReason() int {
+	//asgdvet:allow nondet
+	return 1
+}
+
+// unknownAllow names an analyzer that does not exist: finding.
+func unknownAllow() int {
+	//asgdvet:allow bogus(some reason)
+	return 2
+}
+
+//asgdvet:contract bogus
+
+// wellFormed parses and names a real analyzer: clean (and inert — this
+// package is not under the nondet contract).
+func wellFormed() int {
+	//asgdvet:allow nondet(demonstrates the grammar)
+	return 3
+}

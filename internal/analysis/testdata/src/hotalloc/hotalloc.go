@@ -1,0 +1,120 @@
+// Package hotalloc exercises the hotalloc analyzer: inside an
+// //asgd:hotpath function, capturing closures, interface boxing,
+// non-amortized appends and map construction are positives; constants,
+// cold return/panic paths, amortized field appends, capture-free
+// literals, slice make and everything in unannotated functions are
+// negatives.
+package hotalloc
+
+import "fmt"
+
+var sink interface{}
+
+type holder struct {
+	buf   []int
+	other []int
+}
+
+// capture allocates a closure per call: finding.
+//
+//asgd:hotpath
+func capture(n int) int {
+	f := func() int { return n }
+	return f()
+}
+
+// captureFree closes over nothing and is static: clean.
+//
+//asgd:hotpath
+func captureFree(n int) int {
+	f := func(x int) int { return x + 1 }
+	return f(n)
+}
+
+// boxArg converts a concrete int to interface at a call: finding.
+//
+//asgd:hotpath
+func boxArg(v int) {
+	fmt.Println(v)
+}
+
+// boxAssign converts at an assignment: finding.
+//
+//asgd:hotpath
+func boxAssign(v int) {
+	sink = v
+}
+
+// boxConst materializes statically: clean.
+//
+//asgd:hotpath
+func boxConst() {
+	sink = 42
+}
+
+// coldExits boxes only on return and panic paths: clean.
+//
+//asgd:hotpath
+func coldExits(v int, bad bool) error {
+	if bad {
+		panic(fmt.Sprintf("broken at %d", v))
+	}
+	return fmt.Errorf("value %d rejected", v)
+}
+
+// localAppend grows a slice born in this call: finding.
+//
+//asgd:hotpath
+func localAppend(n int) int {
+	var buf []int
+	buf = append(buf, n)
+	return len(buf)
+}
+
+// divergedAppend assigns the grown array where it cannot be reused:
+// finding.
+//
+//asgd:hotpath
+func (h *holder) divergedAppend(src []int) {
+	h.other = append(h.buf, src...)
+}
+
+// amortizedAppend reuses the field's backing array: clean.
+//
+//asgd:hotpath
+func (h *holder) amortizedAppend(src []int) {
+	h.buf = append(h.buf[:0], src...)
+	h.buf = append(h.buf, 1)
+}
+
+// mapLiteral and makeMap always heap-allocate: findings.
+//
+//asgd:hotpath
+func mapLiteral() map[string]int {
+	m := map[string]int{"a": 1}
+	return m
+}
+
+//asgd:hotpath
+func makeMap() map[string]int {
+	m := make(map[string]int, 4)
+	return m
+}
+
+// makeSlice is the sanctioned scratch-buffer pattern: clean.
+//
+//asgd:hotpath
+func makeSlice(n int) int {
+	s := make([]float64, n)
+	return len(s)
+}
+
+// unannotated does all of the above without the contract: clean.
+func unannotated(n int) int {
+	f := func() int { return n }
+	fmt.Println(n)
+	m := map[string]int{"a": n}
+	var buf []int
+	buf = append(buf, f())
+	return len(buf) + len(m)
+}

@@ -1,0 +1,73 @@
+// Package nondet exercises the nondet analyzer: wall-clock reads,
+// global math/rand use and order-dependent map iteration are positives;
+// seeded generators, the collect-then-sort idiom, commutative loop
+// bodies and allow-annotated sites are negatives. The package opts into
+// the determinism contract explicitly:
+//
+//asgdvet:contract nondet
+package nondet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// wallClock reads the clock twice; both reads are findings.
+func wallClock() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// allowedClock carries the sanctioned suppression.
+func allowedClock() time.Time {
+	//asgdvet:allow nondet(report field documented as wall-clock)
+	return time.Now()
+}
+
+// globalRand draws from the process-global source: finding.
+func globalRand() int {
+	return rand.Intn(4)
+}
+
+// seededRand constructs explicit state: clean.
+func seededRand() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(4)
+}
+
+// printOrder feeds map iteration order straight into output: finding.
+func printOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// appendNoSort collects map keys and never restores an order: finding.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectThenSort is the sanctioned idiom: clean.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// commutative folds the values order-independently: clean.
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,22 @@
+// Package nondetfree is identical nondeterminism to the nondet fixture
+// but carries no contract directive and sits outside the contract
+// paths, so the analyzer must stay silent: the determinism contract is
+// opt-in by package, not global.
+package nondetfree
+
+import (
+	"fmt"
+	"time"
+)
+
+// wallClock is fine here: this package made no determinism promise.
+func wallClock() time.Time {
+	return time.Now()
+}
+
+// printOrder is equally fine outside the contract.
+func printOrder(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}

@@ -1,0 +1,103 @@
+// Package ticketpair exercises the ticketpair analyzer against a
+// miniature gate (any named type with acquire and release methods is a
+// window). Claims matched on every path — straight-line, deferred,
+// branch-complete, per-iteration — are negatives; early returns,
+// half-covered branches, zero-trip loops and fall-off-the-end claims
+// are positives. The deliberate leak carries the function-scope allow.
+package ticketpair
+
+type gate struct{ held int }
+
+// acquire and release are the protocol itself: exempt.
+func (g *gate) acquire() int {
+	g.held++
+	return g.held
+}
+
+func (g *gate) release() {
+	g.held--
+}
+
+// straightLine pairs the claim immediately: clean.
+func straightLine(g *gate) int {
+	t := g.acquire()
+	g.release()
+	return t
+}
+
+// deferred releases at every exit: clean.
+func deferred(g *gate, b bool) int {
+	t := g.acquire()
+	defer g.release()
+	if b {
+		return 0
+	}
+	return t
+}
+
+// bothBranches releases in if and else: clean.
+func bothBranches(g *gate, b bool) {
+	g.acquire()
+	if b {
+		g.release()
+	} else {
+		g.release()
+	}
+}
+
+// switchComplete releases in every case including default: clean.
+func switchComplete(g *gate, k int) {
+	g.acquire()
+	switch k {
+	case 0:
+		g.release()
+	default:
+		g.release()
+	}
+}
+
+// perIteration claims and settles within each loop pass: clean.
+func perIteration(g *gate, n int) {
+	for i := 0; i < n; i++ {
+		g.acquire()
+		g.release()
+	}
+}
+
+// earlyReturn exits holding the ticket: finding.
+func earlyReturn(g *gate, b bool) {
+	g.acquire()
+	if b {
+		return
+	}
+	g.release()
+}
+
+// halfBranch releases only when b: finding.
+func halfBranch(g *gate, b bool) {
+	g.acquire()
+	if b {
+		g.release()
+	}
+}
+
+// zeroTripLoop may never run the release: finding.
+func zeroTripLoop(g *gate, n int) {
+	g.acquire()
+	for i := 0; i < n; i++ {
+		g.release()
+	}
+}
+
+// fallsOffEnd never releases at all: finding.
+func fallsOffEnd(g *gate) int {
+	return g.acquire()
+}
+
+// abandon leaks on purpose — the crash-simulation capability — and
+// says so.
+//
+//asgdvet:allow ticketpair(deliberate orphan: simulates an in-flight crash)
+func abandon(g *gate) {
+	g.acquire()
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// TicketPair enforces gate-ticket hygiene on the window disciplines: a
+// ticket claimed through a gate's acquire must be published through the
+// matching release on every control-flow path out of the claiming
+// function. A path that returns while still holding the ticket leaves
+// an orphan pinning the window's low-water mark, and every other worker
+// wedges at the ≤ τ admission — the exact failure PR 8's fault layer
+// reproduces dynamically with AbandonTicket and that ReclaimTicket
+// exists to undo. This analyzer catches the accidental version at vet
+// time.
+//
+// A "window" is any named type with both an acquire and a release
+// method (stripedWindow today; the check is structural so future gates
+// inherit it). The analysis is conservative:
+//
+//   - a release (or defer of one) on the same window object satisfies
+//     the claim from that point on
+//   - an if/switch/select releases only if every branch does (an
+//     else-less if does not)
+//   - a loop body may run zero times, so a release inside one never
+//     satisfies a claim made outside it
+//   - a return reached while the ticket is still held is reported at
+//     the claim site, as is falling off the end of the function
+//
+// Methods of the window type itself are exempt (they implement the
+// protocol rather than use it), and the deliberate leak —
+// AbandonTicket's crash simulation — carries a function-scope
+// //asgdvet:allow ticketpair(...) directive.
+var TicketPair = &Analyzer{
+	Name: "ticketpair",
+	Doc:  "flags gate-ticket acquires without a matching release on every path",
+	Run:  runTicketPair,
+}
+
+// windowMethods resolves the package's window types and returns their
+// acquire and release method objects keyed by role.
+type windowMethods struct {
+	acquire map[*types.Func]bool
+	release map[*types.Func]bool
+	windows map[*types.Named]bool
+}
+
+func findWindowMethods(pkg *Package) *windowMethods {
+	wm := &windowMethods{
+		acquire: make(map[*types.Func]bool),
+		release: make(map[*types.Func]bool),
+		windows: make(map[*types.Named]bool),
+	}
+	scope := pkg.Types.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		ms := types.NewMethodSet(types.NewPointer(named))
+		var acq, rel *types.Func
+		for i := 0; i < ms.Len(); i++ {
+			if f, ok := ms.At(i).Obj().(*types.Func); ok {
+				switch f.Name() {
+				case "acquire", "Acquire":
+					acq = f
+				case "release", "Release":
+					rel = f
+				}
+			}
+		}
+		if acq != nil && rel != nil {
+			wm.windows[named] = true
+			wm.acquire[acq] = true
+			wm.release[rel] = true
+		}
+	}
+	return wm
+}
+
+func runTicketPair(p *Pass) {
+	wm := findWindowMethods(p.Pkg)
+	if len(wm.windows) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || isWindowMethod(info, wm, fd) {
+				continue
+			}
+			checkTicketFunc(p, wm, fd)
+		}
+	}
+}
+
+// isWindowMethod reports whether fd is declared on a window type — the
+// protocol implementation, not a protocol user.
+func isWindowMethod(info *types.Info, wm *windowMethods, fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := info.TypeOf(fd.Recv.List[0].Type)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && wm.windows[named]
+}
+
+// ticketCall classifies call as an acquire or release of a window,
+// returning the role, the window object the receiver resolves to (nil
+// for complex receiver expressions), and whether it matched at all.
+func ticketCall(info *types.Info, wm *windowMethods, call *ast.CallExpr) (acquire bool, win *types.Var, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return false, nil, false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn {
+		return false, nil, false
+	}
+	switch {
+	case wm.acquire[fn]:
+		return true, rootVar(info, sel.X), true
+	case wm.release[fn]:
+		return false, rootVar(info, sel.X), true
+	}
+	return false, nil, false
+}
+
+// checkTicketFunc verifies every acquire in fd against the statements
+// that follow it, walking back out through the enclosing blocks.
+func checkTicketFunc(p *Pass, wm *windowMethods, fd *ast.FuncDecl) {
+	info := p.Pkg.Info
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // a nested function is its own ticket scope
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		acq, win, ok := ticketCall(info, wm, call)
+		if !ok || !acq {
+			return true
+		}
+		if !releasedFrom(info, wm, win, fd, call, stack) {
+			p.Reportf(call.Pos(), "gate ticket acquired here is not released on every path out of %s; an orphaned ticket pins the window and wedges every worker at the admission gate", fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// releasedFrom reports whether every path from the acquire at call to
+// the exit of fd performs the matching release. It analyzes the
+// statement suffix of each enclosing block from the innermost out: a
+// suffix that guarantees the release settles it; a leaking exit on the
+// way fails it; otherwise control falls through to the next enclosing
+// suffix.
+func releasedFrom(info *types.Info, wm *windowMethods, win *types.Var, fd *ast.FuncDecl, call *ast.CallExpr, stack []ast.Node) bool {
+	tp := &ticketPath{info: info, wm: wm, win: win}
+	// mark holds the position after which statements count: first the
+	// acquire call itself, then each enclosing statement on the way out.
+	mark := call.End()
+	for i := len(stack) - 1; i >= 0; i-- {
+		var list []ast.Stmt
+		switch b := stack[i].(type) {
+		case *ast.BlockStmt:
+			list = b.List
+		case *ast.CaseClause:
+			list = b.Body
+		case *ast.CommClause:
+			list = b.Body
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Leaving a loop iteration re-enters the loop, which may
+			// also exit having run the suffix zero more times; the
+			// ticket claimed inside must have been settled within the
+			// body, and it was not (or we would have stopped already).
+			return false
+		default:
+			mark = stack[i].End()
+			continue
+		}
+		var suffix []ast.Stmt
+		for _, s := range list {
+			if s.Pos() >= mark {
+				suffix = append(suffix, s)
+			}
+		}
+		released, leaked := tp.analyze(suffix)
+		if leaked {
+			return false
+		}
+		if released {
+			return true
+		}
+		mark = stack[i].End()
+	}
+	return false // fell off the end of the function still holding the ticket
+}
+
+// ticketPath is the conservative all-paths release analysis.
+type ticketPath struct {
+	info *types.Info
+	wm   *windowMethods
+	win  *types.Var
+}
+
+// analyze scans a statement list in order. released means every path
+// that falls through the whole list has performed the release; leaked
+// means some path exits the function from inside the list while still
+// holding the ticket.
+func (tp *ticketPath) analyze(list []ast.Stmt) (released, leaked bool) {
+	for _, s := range list {
+		if released {
+			return true, leaked
+		}
+		r, l := tp.stmt(s)
+		released = released || r
+		leaked = leaked || l
+	}
+	return released, leaked
+}
+
+// stmt reports whether executing s guarantees the release (on all paths
+// through s) and whether s can exit the function while leaking.
+func (tp *ticketPath) stmt(s ast.Stmt) (released, leaked bool) {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		return tp.isRelease(s.X), false
+	case *ast.DeferStmt:
+		// A deferred release runs at every subsequent exit.
+		return tp.isRelease(s.Call), false
+	case *ast.ReturnStmt:
+		return false, true // reached ⇒ exiting without the release
+	case *ast.LabeledStmt:
+		return tp.stmt(s.Stmt)
+	case *ast.BlockStmt:
+		return tp.analyze(s.List)
+	case *ast.IfStmt:
+		r1, l1 := tp.analyze(s.Body.List)
+		if s.Else == nil {
+			return false, l1 // the not-taken path skips any release in the body
+		}
+		r2, l2 := tp.stmt(s.Else)
+		return r1 && r2, l1 || l2
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return tp.clauses(s)
+	case *ast.ForStmt:
+		// The body may run zero times: releases inside never satisfy,
+		// leaks inside still leak.
+		_, l := tp.analyze(s.Body.List)
+		return false, l
+	case *ast.RangeStmt:
+		_, l := tp.analyze(s.Body.List)
+		return false, l
+	default:
+		return false, false
+	}
+}
+
+// clauses folds a switch/type-switch/select: released only when every
+// clause releases and (for switches) a default clause exists; a select
+// always executes exactly one clause.
+func (tp *ticketPath) clauses(s ast.Stmt) (released, leaked bool) {
+	var body *ast.BlockStmt
+	needDefault := true
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+		needDefault = false
+	}
+	all, hasDefault := true, false
+	for _, c := range body.List {
+		var list []ast.Stmt
+		var isDefault bool
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			list, isDefault = c.Body, c.List == nil
+		case *ast.CommClause:
+			list, isDefault = c.Body, c.Comm == nil
+		}
+		hasDefault = hasDefault || isDefault
+		r, l := tp.analyze(list)
+		all = all && r
+		leaked = leaked || l
+	}
+	if len(body.List) == 0 {
+		all = false
+	}
+	return all && (hasDefault || !needDefault), leaked
+}
+
+// isRelease reports whether expr is a direct call of the window's
+// release on the same window object (or on an unresolvable receiver,
+// which is accepted — the analysis errs toward the code's word once the
+// right method is clearly being called).
+func (tp *ticketPath) isRelease(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	acq, win, ok := ticketCall(tp.info, tp.wm, call)
+	if !ok || acq {
+		return false
+	}
+	return tp.win == nil || win == nil || tp.win == win
+}

@@ -194,6 +194,8 @@ func (v *Vector) FetchAdd(i int, delta float64) float64 {
 // the paper's Section 6, which is exactly what a lock-free reader
 // observes. The packed layout gets a dedicated loop so the compiler sees
 // a unit-stride scan.
+//
+//asgd:hotpath
 func (v *Vector) LoadAll(dst []float64) {
 	if len(dst) != v.Dim() {
 		panic("atomicfloat: LoadAll dst dimension mismatch")
@@ -215,6 +217,8 @@ func (v *Vector) LoadAll(dst []float64) {
 // sparse view-read path: a sparse stepper gathers exactly its planned
 // support in O(nnz) instead of scanning the model. dst must have length
 // len(idx); the same inconsistent-view caveat as LoadAll applies.
+//
+//asgd:hotpath
 func (v *Vector) GatherInto(dst []float64, idx []int) {
 	if len(dst) != len(idx) {
 		panic("atomicfloat: GatherInto dst/idx length mismatch")
@@ -245,6 +249,8 @@ func (v *Vector) Snapshot(dst []float64) { v.LoadAll(dst) }
 // hoisted out of the inner loop, leaving a unit-stride CAS scan in the
 // packed/banked layouts. Panics if the run [start, start+len(deltas))
 // leaves [0, Dim).
+//
+//asgd:hotpath
 func (v *Vector) FetchAddRun(start int, deltas []float64) {
 	if v.shift == 0 {
 		cells := v.cells[start : start+len(deltas)] // one bounds check for the run
@@ -270,6 +276,8 @@ func (v *Vector) FetchAddRun(start int, deltas []float64) {
 // deltas never round-trip through memory, which at d = 10⁶ removes two
 // full vector traversals from every dense apply. Panics if the run
 // [start, start+len(src)) leaves [0, Dim).
+//
+//asgd:hotpath
 func (v *Vector) FetchAddScaledRun(start int, src []float64, scale float64) {
 	if v.shift == 0 {
 		cells := v.cells[start : start+len(src)] // one bounds check for the run
@@ -291,6 +299,8 @@ func (v *Vector) FetchAddScaledRun(start int, src []float64, scale float64) {
 // ascending coordinate order — the bulk store primitive behind StoreAll
 // and the batch-flush paths. The same hoisted-bounds, unit-stride
 // structure as FetchAddRun; panics if the run leaves [0, Dim).
+//
+//asgd:hotpath
 func (v *Vector) StoreRun(start int, src []float64) {
 	if v.shift == 0 {
 		cells := v.cells[start : start+len(src)]

@@ -652,6 +652,8 @@ func (tr *Tracker) DelayIndicatorMax() int {
 // tracker method. Untagged steps (zero Role) and roles outside the
 // Algorithm-1 iteration structure are ignored. This lets a tracker be
 // attached to any machine via Config.OnStep.
+//
+//asgd:hotpath
 func (tr *Tracker) Observe(thread int, tg Tag, time int) {
 	switch tg.Role {
 	case RoleCounter:

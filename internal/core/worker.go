@@ -217,6 +217,8 @@ func (w *worker) Next(prev shm.Result) (shm.Request, bool) {
 // machine by one shared-memory operation. The next request is written
 // directly into *req (the machine's pending slot), so issuing an
 // operation is a handful of stores — no Request copies on the hot path.
+//
+//asgd:hotpath
 func (w *worker) NextInto(prev shm.Result, req *shm.Request) bool {
 	switch w.phase {
 	case phaseInit:

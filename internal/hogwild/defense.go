@@ -156,6 +156,7 @@ type medianStepper struct {
 	g      vec.Dense
 }
 
+//asgd:hotpath
 func (w *medianStepper) Step() int {
 	s := w.s
 	s.model.LoadAll(w.view)

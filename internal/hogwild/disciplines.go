@@ -270,6 +270,8 @@ func newGatedStepper(model *atomicfloat.Vector, alpha float64, win *stripedWindo
 // until ReclaimTicket tombstones it. If another victim's unreclaimed
 // ticket is pinning the gate, the acquire spin here resolves as soon as
 // the supervisor reclaims it (reclamation never runs on this goroutine).
+//
+//asgdvet:allow ticketpair(deliberate orphan: simulates a crash between claim and publish; ReclaimTicket is the supervisor-side undo)
 func (w *gatedStepper) AbandonTicket() {
 	w.win.acquire(w.slot, w.minDone)
 }
@@ -283,6 +285,7 @@ func (w *gatedStepper) ReclaimTicket() {
 	w.win.release(w.slot)
 }
 
+//asgd:hotpath
 func (w *gatedStepper) Step() int {
 	t := w.win.acquire(w.slot, w.minDone)
 	var ops int
@@ -373,6 +376,7 @@ type batchStepper struct {
 	buf     vec.Sparse // flush scratch (the promised vec.Sparse buffer)
 }
 
+//asgd:hotpath
 func (w *batchStepper) Step() int {
 	s := w.s
 	var ops int
@@ -413,6 +417,8 @@ func (w *batchStepper) accumulate(j int, v float64) {
 // Flush scatters the buffered batch to the shared model in one fetch&add
 // pass and returns the number of coordinate writes. It implements Flusher
 // so Run applies a worker's final partial batch.
+//
+//asgd:hotpath
 func (w *batchStepper) Flush() int {
 	if w.pending == 0 {
 		return 0

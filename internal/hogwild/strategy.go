@@ -65,6 +65,8 @@ type BulkApplier interface {
 // the scalar FetchAdd loop (adding a signed zero would flip a stored -0
 // to +0), so golden trajectories are preserved exactly. Returns the
 // number of coordinate writes.
+//
+//asgd:hotpath
 func applyDenseRuns(m *atomicfloat.Vector, alpha float64, g []float64) int {
 	writes := 0
 	n := len(g)
@@ -90,6 +92,8 @@ func applyDenseRuns(m *atomicfloat.Vector, alpha float64, g []float64) int {
 // degenerate to runs of length one, so the apply order and arithmetic
 // match the scalar scatter loop bit for bit. Returns the number of
 // coordinate writes (= len(idx)).
+//
+//asgd:hotpath
 func scatterRuns(m *atomicfloat.Vector, alpha float64, idx []int, vals []float64) int {
 	n := len(idx)
 	for k := 0; k < n; {
@@ -171,6 +175,7 @@ type lockFreeStepper struct {
 	g      vec.Dense
 }
 
+//asgd:hotpath
 func (w *lockFreeStepper) Step() int {
 	m := w.s.model
 	m.LoadAll(w.view)
@@ -215,6 +220,7 @@ type coarseLockStepper struct {
 	g      vec.Dense
 }
 
+//asgd:hotpath
 func (w *coarseLockStepper) Step() int {
 	s := w.s
 	s.mu.Lock()
@@ -323,6 +329,7 @@ type stripedLockStepper struct {
 	g      vec.Dense
 }
 
+//asgd:hotpath
 func (w *stripedLockStepper) Step() int {
 	s := w.s
 	s.loadView(w.view)
@@ -371,6 +378,7 @@ type sparseStepper struct {
 	g      vec.Sparse // sparse gradient (reused)
 }
 
+//asgd:hotpath
 func (w *sparseStepper) Step() int {
 	s := w.s
 	support := w.oracle.PlanSparse(w.r)

@@ -12,6 +12,8 @@
 package sched
 
 import (
+	"sort"
+
 	"asyncsgd/internal/contention"
 	"asyncsgd/internal/rng"
 	"asyncsgd/internal/shm"
@@ -136,6 +138,10 @@ func (p *CrashAt) Next(v *shm.View) shm.Decision {
 			crash = append(crash, tid)
 		}
 	}
+	// Map iteration order is random; d.Crash feeds the trajectory, so
+	// two threads crashing at the same machine time must die in a fixed
+	// order for runs to replay bit-identically.
+	sort.Ints(crash)
 	d := p.Inner.Next(v)
 	for _, c := range crash {
 		if d.Thread == c {

@@ -74,7 +74,8 @@ func newJob(id, key string, req SweepRequest, cells int, ctx context.Context, ca
 	return &Job{
 		id: id, key: key, req: req, cells: cells,
 		ctx: ctx, cancel: cancel,
-		state:     JobQueued,
+		state: JobQueued,
+		//asgdvet:allow nondet(queue timestamps feed status seconds and metrics, never the result document)
 		submitted: time.Now(),
 		notify:    make(chan struct{}),
 	}
@@ -138,6 +139,7 @@ func (j *Job) finishLocked(state string, doc []byte, errMsg string) {
 	j.state = state
 	j.errMsg = errMsg
 	j.doc = doc
+	//asgdvet:allow nondet(queue timestamps feed status seconds and metrics, never the result document)
 	j.finished = time.Now()
 	if state == JobDone {
 		j.events = append(j.events, Event{Type: "aggregate", Document: doc})
@@ -197,6 +199,7 @@ func (j *Job) status() JobStatus {
 	switch {
 	case j.started.IsZero():
 	case j.finished.IsZero():
+		//asgdvet:allow nondet(status seconds field is documented wall-clock)
 		st.Seconds = time.Since(j.started).Seconds()
 	default:
 		st.Seconds = j.finished.Sub(j.started).Seconds()

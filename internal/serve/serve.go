@@ -281,6 +281,7 @@ func (s *Server) runJob(j *Job) {
 		return
 	}
 	j.state = JobRunning
+	//asgdvet:allow nondet(queue-wait metric and status seconds are wall-clock; the document is not)
 	j.started = time.Now()
 	j.bump()
 	j.mu.Unlock()

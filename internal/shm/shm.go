@@ -331,11 +331,14 @@ func (m *Machine) Trace() []Step { return m.trace }
 // decision carries none, builds the Step record only for consumers (trace,
 // OnStep), and allocates nothing per step — the concrete Request.Tag means
 // issuing an annotated operation is a plain struct copy.
+//
+//asgd:hotpath
 func (m *Machine) Run() (RunStats, error) {
 	if m.ran {
 		return RunStats{}, ErrAlreadyRan
 	}
 	m.ran = true
+	//asgdvet:allow hotalloc(one closure per run, not per step; the per-step loop below is allocation-free)
 	defer func() {
 		for _, p := range m.progs {
 			if s, ok := p.(Stopper); ok {

@@ -76,6 +76,7 @@ func RunContext(ctx context.Context, s Spec) ([]CellResult, error) {
 			break
 		}
 		w := cellWeight(c, capacity)
+		//asgdvet:allow ticketpair(ownership transfers: the cell goroutine defer-releases, or the cancel branch below releases inline)
 		gate.acquire(w) // FIFO: blocks the dispatcher until w slots free up
 		if ctx.Err() != nil {
 			// Canceled while waiting for slots: do not start this cell.
@@ -231,6 +232,7 @@ func runCell(s *Spec, c Cell) (res CellResult) {
 			res.ClippedUpdates = clipMeter.ClippedUpdates()
 		}
 	}()
+	//asgdvet:allow nondet(feeds elapsed/updates_per_sec, the two documented nondeterministic report fields)
 	start := time.Now()
 	switch c.runtime {
 	case Hogwild:
@@ -295,6 +297,7 @@ func runCell(s *Spec, c Cell) (res CellResult) {
 		res.Crashed = out.Crashed
 		res.Rejoined = out.Rejoined
 		res.RecoveredTickets = int64(out.RecoveredTickets)
+		//asgdvet:allow nondet(feeds elapsed/updates_per_sec, the two documented nondeterministic report fields)
 		res.fill(oracle, out.Final, time.Since(start))
 	case Machine:
 		if c.strategy.Machine == nil {
@@ -345,6 +348,7 @@ func runCell(s *Spec, c Cell) (res CellResult) {
 			// Each fired crash activates one parked spare.
 			res.Rejoined = out.Stats.Crashed
 		}
+		//asgdvet:allow nondet(feeds elapsed/updates_per_sec, the two documented nondeterministic report fields)
 		res.fill(oracle, out.FinalX, time.Since(start))
 	default:
 		res.Err = fmt.Sprintf("unknown runtime %v", c.runtime)
