@@ -34,6 +34,7 @@ import (
 	"io"
 
 	"asyncsgd/internal/baseline"
+	"asyncsgd/internal/cluster"
 	"asyncsgd/internal/core"
 	"asyncsgd/internal/data"
 	"asyncsgd/internal/experiments"
@@ -589,6 +590,50 @@ func RunSweepRequest(ctx context.Context, req SweepRequest, onResult func(SweepC
 // returned report.
 func RunSweepRequestStream(ctx context.Context, req SweepRequest, onResult func(SweepCellResult), onTelemetry func(SweepTelemetry)) (*SweepReport, error) {
 	return serve.RunRequestStream(ctx, req, onResult, onTelemetry)
+}
+
+// --- distributed sweep cluster -----------------------------------------------
+
+type (
+	// ClusterConfig parameterizes a cluster coordinator: lease TTL, cells
+	// per lease, worker poll interval, and the optional durable job log.
+	ClusterConfig = cluster.Config
+	// ClusterCoordinator owns cluster-side sweep dispatch: plug it into a
+	// SweepServer as both Dispatcher and Journal (ServeConfig fields),
+	// mount its worker protocol with Mount, and call Recover after
+	// NewSweepServer to resubmit jobs replayed from the durable log.
+	ClusterCoordinator = cluster.Coordinator
+	// ClusterWorkerConfig parameterizes a worker node (coordinator URL,
+	// label, pool concurrency, poll interval).
+	ClusterWorkerConfig = cluster.WorkerConfig
+	// ClusterWorker is one leased execution node; Run drives the
+	// register/lease/execute/report loop until its context is canceled.
+	ClusterWorker = cluster.Worker
+)
+
+// NewClusterCoordinator builds a coordinator with a volatile (in-memory)
+// job queue. See internal/cluster (DESIGN.md §10).
+func NewClusterCoordinator(cfg ClusterConfig) *ClusterCoordinator {
+	return cluster.NewCoordinator(cfg)
+}
+
+// NewClusterCoordinatorWithLog opens (or creates) the durable job log at
+// path and builds a coordinator that replays and journals through it, so
+// a restarted coordinator finishes interrupted sweeps byte-identically.
+func NewClusterCoordinatorWithLog(cfg ClusterConfig, path string) (*ClusterCoordinator, error) {
+	return cluster.NewCoordinatorWithLog(cfg, path)
+}
+
+// NewClusterWorker builds a worker node speaking HTTP to the coordinator
+// (the library form of `cmd/asgdworker`).
+func NewClusterWorker(cfg ClusterWorkerConfig) (*ClusterWorker, error) {
+	return cluster.NewWorker(cfg)
+}
+
+// NewLocalClusterWorker builds an in-process worker calling the
+// coordinator directly (the `asgdserve -local-workers` fleet).
+func NewLocalClusterWorker(c *ClusterCoordinator, cfg ClusterWorkerConfig) *ClusterWorker {
+	return cluster.NewLocalWorker(c, cfg)
 }
 
 // --- experiments ------------------------------------------------------------

@@ -7,7 +7,9 @@ import (
 	"flag"
 	"strings"
 	"testing"
+	"time"
 
+	"asyncsgd/internal/cluster"
 	"asyncsgd/internal/serve"
 	"asyncsgd/internal/version"
 )
@@ -42,6 +44,62 @@ func TestSweepJSONMatchesServeDocument(t *testing.T) {
 	}
 	if got, want := stripTiming(cli.String()), stripTiming(srv.String()); got != want {
 		t.Fatalf("CLI and serve documents diverge beyond timing:\n--- cli\n%s\n--- serve\n%s", got, want)
+	}
+}
+
+// TestSweepJSONMatchesClusterDocument extends the byte-identity pin one
+// layer further out: the same spec run as `asgdbench sweep -json`, as
+// the in-process serve pipeline, and as a distributed sweep — a
+// coordinator leasing cell batches to three in-process workers — must
+// all produce the same document modulo the two timing fields. The
+// cluster path reassembles worker-reported cells by document-global
+// index through the same serve.AssembleReport the CLI uses, and this
+// test keeps that true.
+func TestSweepJSONMatchesClusterDocument(t *testing.T) {
+	var cli bytes.Buffer
+	err := run([]string{"sweep", "-json",
+		"-taus", "2,4", "-workers", "2", "-sparsity", "0.4",
+		"-d", "8", "-reps", "2", "-iters", "40", "-seed", "11", "-adversary", "6",
+	}, &cli)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	coord := cluster.NewCoordinator(cluster.Config{BatchSize: 2, LeaseTTL: time.Minute, Poll: 2 * time.Millisecond})
+	defer coord.Close()
+	srv := serve.New(serve.Config{Dispatcher: coord, Journal: coord})
+	defer srv.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		w := cluster.NewLocalWorker(coord, cluster.WorkerConfig{Name: "bench"})
+		go func() { _ = w.Run(ctx) }()
+	}
+
+	seed, adv := uint64(11), 6
+	job, err := srv.Submit(serve.SweepRequest{
+		Taus: []int{2, 4}, Workers: []int{2}, Sparsity: []float64{0.4},
+		Dim: 8, Replicates: 2, Iters: 40, Seed: &seed, Adversary: &adv,
+		Runtime: "machine",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 120*time.Second)
+	defer wcancel()
+	st, err := job.Wait(wctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != serve.JobDone {
+		t.Fatalf("cluster job finished %s (err %q), want done", st.State, st.Err)
+	}
+	doc, ok := job.Result()
+	if !ok {
+		t.Fatal("done job has no result document")
+	}
+	if got, want := stripTiming(cli.String()), stripTiming(string(doc)); got != want {
+		t.Fatalf("CLI and cluster documents diverge beyond timing:\n--- cli\n%s\n--- cluster\n%s", got, want)
 	}
 }
 

@@ -49,6 +49,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asyncsgd/internal/cluster"
 	"asyncsgd/internal/rng"
 	"asyncsgd/internal/serve"
 	"asyncsgd/internal/version"
@@ -77,6 +78,7 @@ func run(args []string, stdout io.Writer) error {
 	runtimeLeg := fs.String("runtime", "machine", "sweep runtime per job: machine, hogwild or both")
 	telemetryMS := fs.Int("telemetry-ms", 0, "request live telemetry events at this period (hogwild cells only)")
 	queue := fs.Int("queue", 0, "in-process server queue depth (0: jobs count, i.e. no 429s expected)")
+	clusterWorkers := fs.Int("cluster-workers", 0, "boot the in-process server in cluster mode with this many local workers (0: plain executor; requires empty -addr)")
 	seed := fs.Uint64("seed", 97, "base seed; job i uses seed+i so no two jobs share a cache key")
 	sloP50 := fs.Float64("slo-p50-ms", 250, "submit-latency p50 SLO in milliseconds")
 	sloP99 := fs.Float64("slo-p99-ms", 2000, "submit-latency p99 SLO in milliseconds")
@@ -104,6 +106,13 @@ Flags:
 		return fmt.Errorf("-jobs, -submitters, -subscribers and -iters must be ≥ 1")
 	}
 
+	if *clusterWorkers < 0 {
+		return fmt.Errorf("-cluster-workers %d: want ≥ 0", *clusterWorkers)
+	}
+	if *clusterWorkers > 0 && *addr != "" {
+		return fmt.Errorf("-cluster-workers boots an in-process cluster and conflicts with -addr")
+	}
+
 	base := *addr
 	var shutdown func()
 	if base == "" {
@@ -112,7 +121,7 @@ Flags:
 			depth = *jobs
 		}
 		var err error
-		base, shutdown, err = bootLocalServer(depth)
+		base, shutdown, err = bootLocalServer(depth, *clusterWorkers)
 		if err != nil {
 			return err
 		}
@@ -123,13 +132,14 @@ Flags:
 	}
 
 	rep, err := drive(base, harnessConfig{
-		Submitters:  *submitters,
-		Jobs:        *jobs,
-		Subscribers: *subscribers,
-		Iters:       *iters,
-		Runtime:     *runtimeLeg,
-		TelemetryMS: *telemetryMS,
-		Seed:        *seed,
+		Submitters:     *submitters,
+		Jobs:           *jobs,
+		Subscribers:    *subscribers,
+		Iters:          *iters,
+		Runtime:        *runtimeLeg,
+		TelemetryMS:    *telemetryMS,
+		Seed:           *seed,
+		ClusterWorkers: *clusterWorkers,
 	})
 	if err != nil {
 		return err
@@ -180,20 +190,43 @@ func boolVal(b bool) float64 {
 }
 
 // bootLocalServer starts an in-process asgdserve on a loopback port and
-// returns its address and a shutdown func.
-func bootLocalServer(queueDepth int) (addr string, shutdown func(), err error) {
+// returns its address and a shutdown func. With clusterWorkers > 0 the
+// server boots in cluster mode — the coordinator dispatches cells to
+// that many in-process leased workers — so the harness exercises the
+// cluster scheduling path under the same SLOs as the plain executor.
+func bootLocalServer(queueDepth, clusterWorkers int) (addr string, shutdown func(), err error) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return "", nil, err
 	}
-	s := serve.New(serve.Config{QueueDepth: queueDepth})
-	hs := &http.Server{Handler: s.Handler()}
+	cfg := serve.Config{QueueDepth: queueDepth}
+	var coord *cluster.Coordinator
+	if clusterWorkers > 0 {
+		coord = cluster.NewCoordinator(cluster.Config{})
+		cfg.Dispatcher = coord
+		cfg.Journal = coord
+	}
+	s := serve.New(cfg)
+	handler := s.Handler()
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	if coord != nil {
+		handler = coord.Mount(handler)
+		for i := 0; i < clusterWorkers; i++ {
+			w := cluster.NewLocalWorker(coord, cluster.WorkerConfig{Name: fmt.Sprintf("load-%d", i)})
+			go func() { _ = w.Run(workerCtx) }()
+		}
+	}
+	hs := &http.Server{Handler: handler}
 	go func() { _ = hs.Serve(ln) }()
 	shutdown = func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
 		_ = hs.Shutdown(ctx)
+		stopWorkers()
 		s.Close()
+		if coord != nil {
+			coord.Close()
+		}
 	}
 	return ln.Addr().String(), shutdown, nil
 }
@@ -206,6 +239,9 @@ type harnessConfig struct {
 	Runtime     string `json:"runtime"`
 	TelemetryMS int    `json:"telemetry_ms,omitempty"`
 	Seed        uint64 `json:"seed"`
+	// ClusterWorkers records the in-process cluster fleet size (0: the
+	// plain single-process executor).
+	ClusterWorkers int `json:"cluster_workers,omitempty"`
 }
 
 type submitStats struct {

@@ -30,6 +30,18 @@
 // machine grid. On SIGTERM/SIGINT the server drains gracefully: new
 // submissions are refused with 503 while queued and running jobs finish
 // (bounded by -drain-timeout), then the listener shuts down.
+//
+// Cluster mode (-cluster) swaps the in-process executor for the
+// internal/cluster coordinator: jobs fan out as leased cell batches to
+// worker nodes (`asgdworker`, or -local-workers in-process ones), the
+// worker protocol mounts under /cluster/v1/*, and -cluster-log makes the
+// job queue durable — a restarted coordinator replays the log and
+// finishes interrupted sweeps with byte-identical documents (DESIGN.md
+// §10).
+//
+//	asgdserve -cluster -local-workers 2
+//	asgdserve -cluster -cluster-log /var/lib/asgd/joblog
+//	asgdworker -coordinator http://coordinator:8080
 package main
 
 import (
@@ -42,6 +54,7 @@ import (
 	"syscall"
 	"time"
 
+	"asyncsgd/internal/cluster"
 	"asyncsgd/internal/serve"
 	"asyncsgd/internal/version"
 )
@@ -63,6 +76,11 @@ func run(args []string) error {
 	cacheSize := fs.Int("cache", 32, "LRU result-cache size in sweeps (0 disables)")
 	history := fs.Int("history", 128, "finished jobs retained for introspection/replay")
 	drainTimeout := fs.Duration("drain-timeout", 60*time.Second, "graceful-drain bound on SIGTERM")
+	clusterMode := fs.Bool("cluster", false, "run as cluster coordinator: dispatch cells to leased workers, mount /cluster/v1/*")
+	clusterLog := fs.String("cluster-log", "", "durable job-log path (cluster mode; empty disables durability)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "cluster lease deadline; an unrenewed lease requeues its cells")
+	batchSize := fs.Int("batch", 8, "cells per cluster lease")
+	localWorkers := fs.Int("local-workers", 0, "in-process cluster workers to start (cluster mode)")
 	showVersion := fs.Bool("version", false, "print version and exit")
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), `asgdserve — sweep-as-a-service job server for the asyncsgd scenario-sweep
@@ -78,8 +96,11 @@ Flags:
 Examples:
   asgdserve
   asgdserve -addr 127.0.0.1:9090 -queue 32
+  asgdserve -cluster -local-workers 2
+  asgdserve -cluster -cluster-log joblog -lease-ttl 15s -batch 4
   curl -s localhost:8080/healthz
   curl -s localhost:8080/metrics
+  curl -s localhost:8080/cluster/v1/status
   curl -s -X POST localhost:8080/v1/sweeps -d '{}'
   curl -s -X POST localhost:8080/v1/sweeps -d '{"runtime":"hogwild","telemetry_ms":50}'
   curl -sN localhost:8080/v1/sweeps/j1/events
@@ -111,15 +132,69 @@ Examples:
 	if *cacheSize == 0 {
 		*cacheSize = -1 // Config's explicit "caching disabled"
 	}
+	if !*clusterMode {
+		if *clusterLog != "" || *localWorkers != 0 {
+			return fmt.Errorf("-cluster-log and -local-workers require -cluster")
+		}
+	}
+	if *localWorkers < 0 {
+		return fmt.Errorf("-local-workers %d: want ≥ 0", *localWorkers)
+	}
+	if *leaseTTL <= 0 {
+		return fmt.Errorf("-lease-ttl %v: want > 0", *leaseTTL)
+	}
+	if *batchSize < 1 {
+		return fmt.Errorf("-batch %d: want ≥ 1", *batchSize)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
-	fmt.Fprintf(os.Stderr, "asgdserve %s listening on %s (queue %d, cache %d)\n",
-		version.Version, *addr, *queue, *cacheSize)
-	return serve.ListenAndServe(ctx, *addr, serve.Config{
+	cfg := serve.Config{
 		QueueDepth:   *queue,
 		CacheSize:    *cacheSize,
 		History:      *history,
 		DrainTimeout: *drainTimeout,
-	})
+	}
+	if !*clusterMode {
+		fmt.Fprintf(os.Stderr, "asgdserve %s listening on %s (queue %d, cache %d)\n",
+			version.Version, *addr, *queue, *cacheSize)
+		return serve.ListenAndServe(ctx, *addr, cfg)
+	}
+
+	// Cluster mode: the coordinator replaces the in-process executor and
+	// journals to the durable log; recovery resubmits interrupted sweeps
+	// before the listener opens, so no client can observe a half-replayed
+	// queue.
+	ccfg := cluster.Config{LeaseTTL: *leaseTTL, BatchSize: *batchSize}
+	var (
+		coord *cluster.Coordinator
+		err   error
+	)
+	if *clusterLog != "" {
+		coord, err = cluster.NewCoordinatorWithLog(ccfg, *clusterLog)
+		if err != nil {
+			return err
+		}
+	} else {
+		coord = cluster.NewCoordinator(ccfg)
+	}
+	defer coord.Close()
+	cfg.Dispatcher = coord
+	cfg.Journal = coord
+	s := serve.New(cfg)
+	defer s.Close()
+	recovered, err := coord.Recover(s)
+	if err != nil {
+		return fmt.Errorf("replaying job log: %w", err)
+	}
+	if len(recovered) > 0 {
+		fmt.Fprintf(os.Stderr, "asgdserve: recovered %d interrupted job(s) from %s\n", len(recovered), *clusterLog)
+	}
+	for i := 0; i < *localWorkers; i++ {
+		w := cluster.NewLocalWorker(coord, cluster.WorkerConfig{Name: fmt.Sprintf("local-%d", i)})
+		go func() { _ = w.Run(ctx) }()
+	}
+	fmt.Fprintf(os.Stderr, "asgdserve %s listening on %s (cluster coordinator; queue %d, cache %d, lease %v, batch %d, local workers %d)\n",
+		version.Version, *addr, *queue, *cacheSize, *leaseTTL, *batchSize, *localWorkers)
+	return s.ListenAndServe(ctx, *addr, coord.Mount(s.Handler()))
 }

@@ -134,22 +134,34 @@ func RunRequestStream(ctx context.Context, req SweepRequest, onResult func(sweep
 	}
 	//asgdvet:allow nondet(feeds only the seconds fields, documented as nondeterministic; the table is timing-free)
 	elapsed := time.Since(start)
+	return AssembleReport(req, names, all, elapsed), nil
+}
 
+// AssembleReport folds a complete, cell-index-ordered result slice into
+// the asgdbench/v2 document. It is the single assembly point shared by
+// the in-process executor (RunRequestStream above) and the cluster
+// coordinator's reassembly of worker-reported cells — the same function
+// produces the document either way, so the distributed and local paths
+// cannot drift: for a deterministic grid the bytes differ only in the
+// documented timing fields (seconds, updates_per_sec). The request must
+// be normalized, names are the runtime-leg spec names in leg order, and
+// results must carry their document-global indices in ascending order.
+func AssembleReport(req SweepRequest, names []string, results []sweep.CellResult, elapsed time.Duration) *Report {
 	// The note stays timing-free so the document's table field is
 	// byte-identical across reruns; wall-clock lives in the seconds
 	// fields.
-	tbl := sweep.Table("staleness phase diagram (sweep engine)", sweep.Aggregate(all))
+	tbl := sweep.Table("staleness phase diagram (sweep engine)", sweep.Aggregate(results))
 	tbl.Note = fmt.Sprintf("%d cells; τ=%v × workers=%v × keep=%v × %d replicates",
-		len(all), req.Taus, req.Workers, req.Sparsity, req.Replicates)
+		len(results), req.Taus, req.Workers, req.Sparsity, req.Replicates)
 	return &Report{
 		Schema: sweep.SchemaV2,
 		Sweep: &SweepRecord{
 			Name:    strings.Join(names, "+"),
 			Seed:    *req.Seed,
-			Cells:   len(all),
+			Cells:   len(results),
 			Seconds: elapsed.Seconds(),
 			Table:   tbl.String(),
-			Results: all,
+			Results: results,
 		},
-	}, nil
+	}
 }

@@ -155,6 +155,45 @@ func (j *Job) terminal() bool {
 	return j.state == JobDone || j.state == JobFailed || j.state == JobCanceled
 }
 
+// ID returns the job's server-assigned identifier ("j1", "j2", … in
+// submission order).
+func (j *Job) ID() string { return j.id }
+
+// Status snapshots the job's introspection record (the GET
+// /v1/sweeps/{id} document).
+func (j *Job) Status() JobStatus { return j.status() }
+
+// Wait blocks until the job reaches a terminal state (or ctx expires)
+// and returns its final status.
+func (j *Job) Wait(ctx context.Context) (JobStatus, error) {
+	for {
+		j.mu.Lock()
+		if j.terminal() {
+			st := j.statusLocked()
+			j.mu.Unlock()
+			return st, nil
+		}
+		wake := j.notify
+		j.mu.Unlock()
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+	}
+}
+
+// Result returns the final document bytes of a done job (exactly the
+// GET /v1/sweeps/{id}/result body), or false while the job is not done.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobDone {
+		return nil, false
+	}
+	return j.doc, true
+}
+
 // JobStatus is the introspection record of one job (GET /v1/sweeps/{id}
 // and the /v1/jobs listing).
 type JobStatus struct {
@@ -184,6 +223,11 @@ type JobStatus struct {
 func (j *Job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// statusLocked is status for callers already holding j.mu.
+func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID:        j.id,
 		State:     j.state,

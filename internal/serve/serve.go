@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"asyncsgd/internal/metrics"
 	"asyncsgd/internal/sweep"
 	"asyncsgd/internal/version"
 )
@@ -31,6 +32,14 @@ type Config struct {
 	// DrainTimeout bounds the SIGTERM graceful drain in ListenAndServe
 	// (default 60s).
 	DrainTimeout time.Duration
+	// Dispatcher is the execution backend jobs run on (nil ⇒ the
+	// in-process sweep pool). The cluster coordinator plugs in here to
+	// fan cells out to leased remote workers.
+	Dispatcher Dispatcher
+	// Journal, when set, receives every accepted submission and terminal
+	// transition so queue state survives a restart (the cluster
+	// coordinator's durable job log).
+	Journal Journal
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +101,9 @@ type Server struct {
 	cache    *lruCache
 	met      *serverMetrics
 
+	dispatcher Dispatcher
+	journal    Journal
+
 	execDone chan struct{}
 }
 
@@ -100,18 +112,30 @@ func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:       cfg,
-		baseCtx:   ctx,
-		cancelAll: cancel,
-		jobs:      make(map[string]*Job),
-		cache:     newLRUCache(cfg.CacheSize),
-		execDone:  make(chan struct{}),
+		cfg:        cfg,
+		baseCtx:    ctx,
+		cancelAll:  cancel,
+		jobs:       make(map[string]*Job),
+		cache:      newLRUCache(cfg.CacheSize),
+		dispatcher: cfg.Dispatcher,
+		journal:    cfg.Journal,
+		execDone:   make(chan struct{}),
+	}
+	if s.dispatcher == nil {
+		s.dispatcher = localDispatcher{}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.met = newServerMetrics(s)
+	if ma, ok := s.dispatcher.(MetricsAttacher); ok {
+		ma.AttachMetrics(s.met.reg)
+	}
 	go s.executor()
 	return s
 }
+
+// MetricsRegistry exposes the server's metric registry (the document
+// GET /metrics renders) so embedders can add their own families.
+func (s *Server) MetricsRegistry() *metrics.Registry { return s.met.reg }
 
 // Submit validates and enqueues a sweep request (or answers it from the
 // cache), returning the job. Errors: ErrBadRequest (invalid spec),
@@ -151,6 +175,12 @@ func (s *Server) Submit(req SweepRequest) (*Job, error) {
 	id := fmt.Sprintf("j%d", s.nextID+1)
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	job := newJob(id, key, norm, cells, ctx, cancel)
+	// Journal before the job becomes visible to the executor (we still
+	// hold s.mu, so the executor cannot pop it yet): a journaled job's
+	// submit record always precedes any of its execution records.
+	if s.journal != nil {
+		s.journal.JobSubmitted(id, norm)
+	}
 	s.pending = append(s.pending, job)
 	s.cond.Signal()
 	s.nextID++
@@ -310,7 +340,7 @@ func (s *Server) runJob(j *Job) {
 		j.appendTelemetry(ts)
 		s.met.telemetrySamples.Inc()
 	}
-	doc, err := RunRequestStream(j.ctx, j.req, onCell, onTelemetry)
+	doc, err := s.dispatcher.DispatchSweep(j.ctx, j.id, j.req, onCell, onTelemetry)
 	switch {
 	case err == nil:
 		var buf bytes.Buffer
@@ -347,6 +377,9 @@ func (s *Server) noteFinished(j *Job) {
 	state := j.state
 	j.mu.Unlock()
 	s.met.jobsFinished.With(state).Inc()
+	if s.journal != nil {
+		s.journal.JobFinished(j.id, state)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for i, q := range s.pending {
@@ -631,7 +664,16 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func ListenAndServe(ctx context.Context, addr string, cfg Config) error {
 	s := New(cfg)
 	defer s.Close()
-	hs := &http.Server{Addr: addr, Handler: s.Handler()}
+	return s.ListenAndServe(ctx, addr, s.Handler())
+}
+
+// ListenAndServe runs handler (usually s.Handler(), possibly wrapped —
+// the cluster coordinator mounts its /cluster/v1/* endpoints around it)
+// on addr until ctx is canceled, then drains exactly like the package
+// function: submissions refused, queued and running jobs finish bounded
+// by Config.DrainTimeout, then the listener shuts down gracefully.
+func (s *Server) ListenAndServe(ctx context.Context, addr string, handler http.Handler) error {
+	hs := &http.Server{Addr: addr, Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
@@ -639,8 +681,7 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config) error {
 		return err
 	case <-ctx.Done():
 	}
-	cfg = cfg.withDefaults()
-	dctx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer cancel()
 	if err := s.Drain(dctx); err != nil {
 		// Drain timed out: cancel the still-running jobs now, before the
@@ -652,7 +693,7 @@ func ListenAndServe(ctx context.Context, addr string, cfg Config) error {
 	// Shutdown an already-expired context whenever Drain timed out,
 	// making it abort in-flight responses immediately instead of closing
 	// them gracefully.
-	sctx, scancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	sctx, scancel := context.WithTimeout(context.Background(), s.cfg.DrainTimeout)
 	defer scancel()
 	return hs.Shutdown(sctx)
 }

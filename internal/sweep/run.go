@@ -49,6 +49,45 @@ func RunContext(ctx context.Context, s Spec) ([]CellResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	return runCells(ctx, s, cells)
+}
+
+// RunSubset expands the spec's grid and executes only the cells with the
+// given grid indices, returning their results in the order the indices
+// were given (each result's Cell.Index keeps its grid-global value). It
+// is the cell-batch extraction primitive of the cluster protocol: a
+// worker leases a batch of indices, runs exactly those cells through the
+// same pipeline RunContext uses, and the coordinator reassembles the
+// document by index — per-cell seeds are split from the cell's
+// coordinates, never from execution order or grid position, so a subset
+// run reproduces bit-identical deterministic fields no matter which
+// process runs it, how the grid was partitioned, or how often a cell is
+// re-executed after a lost lease.
+func RunSubset(ctx context.Context, s Spec, indices []int) ([]CellResult, error) {
+	cells, err := s.Cells()
+	if err != nil {
+		return nil, err
+	}
+	sub := make([]Cell, len(indices))
+	seen := make(map[int]bool, len(indices))
+	for i, idx := range indices {
+		if idx < 0 || idx >= len(cells) {
+			return nil, fmt.Errorf("%w: cell index %d out of range [0,%d)", ErrBadSpec, idx, len(cells))
+		}
+		if seen[idx] {
+			return nil, fmt.Errorf("%w: duplicate cell index %d", ErrBadSpec, idx)
+		}
+		seen[idx] = true
+		sub[i] = cells[idx]
+	}
+	return runCells(ctx, s, sub)
+}
+
+// runCells executes the given (already expanded) cells on the bounded
+// weighted pool. The returned slice is parallel to cells — for a full
+// grid that is cell-index order, for a leased subset it is the batch
+// order — and each result retains its grid-global Cell.Index.
+func runCells(ctx context.Context, s Spec, cells []Cell) ([]CellResult, error) {
 	capacity := s.MaxConcurrent
 	if capacity <= 0 {
 		capacity = runtime.GOMAXPROCS(0)
@@ -85,23 +124,23 @@ func RunContext(ctx context.Context, s Spec) ([]CellResult, error) {
 			break
 		}
 		wg.Add(1)
-		go func(c Cell, w int) {
+		go func(pos int, c Cell, w int) {
 			defer wg.Done()
 			defer gate.release(w)
 			res := runCellSafe(&s, c)
-			results[c.Index] = res
+			results[pos] = res
 			if s.OnResult != nil {
 				emitMu.Lock()
 				s.OnResult(res)
 				emitMu.Unlock()
 			}
-		}(c, w)
+		}(i, c, w)
 	}
 	wg.Wait()
 	if canceledFrom < len(cells) {
-		for _, c := range cells[canceledFrom:] {
-			res := CellResult{Cell: c, MaxStaleness: -1, Err: ErrCanceled}
-			results[c.Index] = res
+		for pos := canceledFrom; pos < len(cells); pos++ {
+			res := CellResult{Cell: cells[pos], MaxStaleness: -1, Err: ErrCanceled}
+			results[pos] = res
 			if s.OnResult != nil {
 				s.OnResult(res)
 			}
